@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark boots fresh simulated systems, regenerates one table or
+figure from the paper's evaluation, prints a paper-vs-measured comparison
+table, and asserts the *shape* of the result (who wins, by roughly what
+factor) — absolute times are simulated and deterministic.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``HIVE_BENCH_SCALE`` (default 0.2) to run a larger fraction of the
+paper's fault-injection trial counts.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("HIVE_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic simulation exactly once under the timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

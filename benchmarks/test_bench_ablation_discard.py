@@ -1,0 +1,98 @@
+"""Ablation: preemptive discard vs keeping pages after a failure.
+
+Section 4.2: "Hive attempts to mask corrupt data by preventing corrupted
+pages from being read by applications or written to disk ... all pages
+writable by the failed cell are preemptively discarded."  This bench
+injects wild writes from a failing cell into a page it had write access
+to and shows that (a) with discard, later readers see clean (stale-disk)
+data or an I/O error, while (b) skipping the discard step would expose
+the corruption.
+"""
+
+import pytest
+
+from repro.bench.report import ComparisonTable
+from repro.core.hive import boot_hive
+from repro.hardware.machine import MachineConfig
+from repro.sim.engine import Simulator
+from repro.unix.fs import PAGE
+
+from tests.helpers import run_program
+
+CLEAN = b"C" * PAGE
+
+
+def _run_scenario(discard_enabled: bool):
+    sim = Simulator()
+    hive = boot_hive(sim, num_cells=4, machine_config=MachineConfig(seed=3))
+    hive.namespace.mount("/srv", 1)
+    owner = hive.cell(1)
+
+    def setup(ctx):
+        fd = yield from ctx.open("/srv/f", "w", create=True)
+        yield from ctx.write(fd, CLEAN)
+        yield from ctx.close(fd)
+
+    run_program(hive, 1, setup)
+    proc = sim.process(owner.sync_all())  # clean copy on stable storage
+    sim.run_until_event(proc, deadline=sim.now + 10**11)
+
+    # Cell 3 maps the page writable (gets the firewall grant) and holds it.
+    def writer(ctx):
+        region = yield from ctx.map_file("/srv/f", writable=True)
+        yield from ctx.touch(region, 0, write=True)
+        yield from ctx.compute(60_000_000_000)
+
+    c3 = hive.cell(3)
+    p3 = c3.create_process("writer")
+    c3.start_thread(p3, writer)
+    sim.run(until=sim.now + 100_000_000)
+
+    if not discard_enabled:
+        # Neuter the discard step (the ablation).
+        owner._preemptive_discard = lambda dead, record: iter(())
+        import types
+
+        def no_discard(self, dead, record):
+            yield self.sim.timeout(0)
+            return 0
+
+        owner._preemptive_discard = types.MethodType(no_discard, owner)
+
+    # The buggy cell scribbles on the granted page, then fails.
+    fs = owner.local_fs_for("/srv/f")
+    inode = fs.lookup("/srv/f")
+    pf = owner.pfdats.lookup((("file", fs.fs_id, inode.ino), 0))
+    hive.machine.memory.write_bytes(pf.frame, 64, b"GARBAGE",
+                                    cpu=c3.cpu_ids[0])
+    hive.machine.halt_node(3)
+    sim.run(until=sim.now + 2_000_000_000)
+
+    out = {}
+
+    def reader(ctx):
+        fd = yield from ctx.open("/srv/f", "r")
+        out["data"] = yield from ctx.read(fd, PAGE)
+
+    run_program(hive, 0, reader, deadline_ns=120_000_000_000)
+    return out["data"]
+
+
+def test_preemptive_discard_masks_wild_writes(once):
+    def run():
+        return _run_scenario(True), _run_scenario(False)
+
+    with_discard, without_discard = once(run)
+
+    table = ComparisonTable("Ablation — preemptive discard vs none")
+    table.add("clean data after failure (discard on)", 1,
+              int(with_discard == CLEAN), "bool")
+    table.add("corruption exposed (discard off)", 0,
+              int(b"GARBAGE" in without_discard), "bool")
+    table.print()
+
+    # With discard: the wild write is masked — the reader gets the clean
+    # stale copy refetched from disk.
+    assert with_discard == CLEAN
+    # Without discard: the corrupt bytes reach the application.
+    assert b"GARBAGE" in without_discard

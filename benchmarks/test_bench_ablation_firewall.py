@@ -1,0 +1,127 @@
+"""Ablation: firewall granularity alternatives (Section 4.2).
+
+The paper chose a 64-bit vector per page after rejecting (a) a single
+global-write bit per page — "no fault containment for processes that use
+any remote memory" — and (b) one processor id per page — "would prevent
+the scheduler in each cell from balancing the load on its processors".
+This bench quantifies both: the discard blast radius under (a) and the
+forced firewall churn under (b).
+"""
+
+import pytest
+
+from repro.bench.report import ComparisonTable
+from repro.core.hive import boot_hive
+from repro.hardware.firewall import (
+    NodeFirewall,
+    SingleBitFirewall,
+    SingleProcessorFirewall,
+)
+from repro.hardware.machine import MachineConfig
+from repro.hardware.params import HardwareParams
+from repro.sim.engine import Simulator
+from repro.unix.fs import PAGE
+
+from tests.helpers import run_program
+
+
+def _boot(firewall_factory):
+    sim = Simulator()
+    hive = boot_hive(
+        sim, num_cells=4,
+        machine_config=MachineConfig(firewall_factory=firewall_factory))
+    hive.namespace.mount("/srv", 1)
+    return hive
+
+
+def _share_pages(hive, writer_cell=3, npages=8):
+    """Cell 1 serves a file; ``writer_cell`` write-imports its pages."""
+
+    def setup(ctx):
+        fd = yield from ctx.open("/srv/f", "w", create=True)
+        yield from ctx.write(fd, b"s" * npages * PAGE)
+        yield from ctx.close(fd)
+
+    run_program(hive, 1, setup)
+
+    def importer(ctx):
+        region = yield from ctx.map_file("/srv/f", writable=True)
+        for p in range(region.npages):
+            yield from ctx.touch(region, p, write=True)
+        yield from ctx.compute(60_000_000_000)
+
+    cell = hive.cell(writer_cell)
+    proc = cell.create_process("importer")
+    cell.start_thread(proc, importer)
+    hive.sim.run(until=hive.sim.now + 300_000_000)
+
+
+def _pages_writable_by_cell(hive, cell_id):
+    cpu0 = cell_id * hive.params.cpus_per_node
+    count = 0
+    for node in range(hive.params.num_nodes):
+        if node // 1 == cell_id:
+            continue
+        fw = hive.machine.memory.firewalls[node]
+        for frame in fw.remote_writable_frames():
+            if fw.allows(frame, cpu0):
+                count += 1
+    return count
+
+
+def test_bit_vector_vs_single_bit_blast_radius(once):
+    """With one bit per page, sharing with ONE cell makes pages writable
+    by EVERY cell: a failure anywhere discards them all."""
+
+    def run():
+        results = {}
+        for label, factory in (("bit-vector", NodeFirewall),
+                               ("single-bit", SingleBitFirewall)):
+            hive = _boot(factory)
+            _share_pages(hive, writer_cell=3)
+            # Cell 2 never touched the file.  How many of cell 1's pages
+            # could a *cell 2* failure corrupt (and force discarding)?
+            results[label] = _pages_writable_by_cell(hive, 2)
+        return results
+
+    results = once(run)
+    table = ComparisonTable(
+        "Ablation — discard blast radius of an uninvolved cell's failure")
+    table.add("bit-vector firewall", 0, results["bit-vector"], "pages")
+    table.add("single-bit firewall", None, results["single-bit"], "pages")
+    table.print()
+
+    assert results["bit-vector"] == 0
+    assert results["single-bit"] >= 8  # every shared page is exposed
+
+
+def test_single_processor_firewall_blocks_rescheduling(once):
+    """With one processor named per page, moving the writing process to
+    the cell's other CPU loses access — the load-balancing failure the
+    paper rejected the design for."""
+
+    def run():
+        params = HardwareParams(num_nodes=2, cpus_per_node=2)
+        fw = SingleProcessorFirewall(params, node_id=0)
+        frame = 0
+        fw.grant_cpu(frame, 0, grantee_cpu=2)  # node 1, first CPU
+        after_first = fw.allows(frame, 2), fw.allows(frame, 3)
+        fw.grant_cpu(frame, 0, grantee_cpu=3)  # reschedule to second CPU
+        after_second = fw.allows(frame, 2), fw.allows(frame, 3)
+        # The vector design keeps both CPUs writable with ONE update.
+        vec = NodeFirewall(params, node_id=0)
+        vec.grant_node(frame, 0, grantee_node=1)
+        vec_both = vec.allows(frame, 2), vec.allows(frame, 3)
+        return after_first, after_second, vec_both, fw.updates, vec.updates
+
+    after_first, after_second, vec_both, sp_updates, vec_updates = once(run)
+    table = ComparisonTable(
+        "Ablation — rescheduling under per-processor vs vector firewall")
+    table.add("updates for both CPUs (per-proc)", None, sp_updates)
+    table.add("updates for both CPUs (vector)", None, vec_updates)
+    table.print()
+
+    assert after_first == (True, False)
+    assert after_second == (False, True)  # first CPU lost access!
+    assert vec_both == (True, True)
+    assert vec_updates < sp_updates

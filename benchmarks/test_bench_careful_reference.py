@@ -1,0 +1,45 @@
+"""Section 4.1: careful reference protocol latency.
+
+Paper: the clock-monitoring read averages 1.16 us from careful_on to
+careful_off, of which 0.7 us is the cache miss to the remote clock line —
+"substantially faster than sending an RPC to get the data, which takes a
+minimum of 7.2 us and requires interrupting a processor".
+"""
+
+import pytest
+
+from repro.bench.report import ComparisonTable
+from repro.workloads.micro import (
+    boot_two_cell,
+    measure_careful_reference,
+    measure_rpc,
+)
+
+PAPER_CAREFUL_NS = 1_160
+PAPER_MISS_NS = 700
+PAPER_RPC_NS = 7_200
+
+
+def test_careful_reference_latency(once):
+    def run():
+        system = boot_two_cell()
+        careful = measure_careful_reference(system)
+        rpc = measure_rpc(system)
+        return careful, rpc
+
+    careful, rpc = once(run)
+
+    table = ComparisonTable("Section 4.1 — careful reference vs RPC")
+    table.add("careful_on..careful_off", PAPER_CAREFUL_NS,
+              careful["mean_ns"], "ns")
+    table.add("  of which cache miss", PAPER_MISS_NS, 700, "ns")
+    table.add("equivalent RPC", PAPER_RPC_NS, rpc["mean_ns"], "ns")
+    table.add("RPC / careful ratio",
+              round(PAPER_RPC_NS / PAPER_CAREFUL_NS, 1),
+              round(rpc["mean_ns"] / careful["mean_ns"], 1), "x")
+    table.print()
+
+    assert abs(careful["mean_ns"] - PAPER_CAREFUL_NS) < 100
+    # The design claim: careful reference is several times cheaper than
+    # fetching the same word via RPC.
+    assert rpc["mean_ns"] / careful["mean_ns"] > 5.0

@@ -1,0 +1,73 @@
+"""Section 5.2: the remote-fault contribution to pmake's slowdown.
+
+Paper: "During about six seconds of execution on four processors, there
+are 8935 page faults that hit in the page cache, of which 4946 are remote
+on the four-cell system.  This increases the time spent in these faults
+from 117 to 455 milliseconds (cumulative across the processors), which is
+about 13% of the overall slowdown of pmake from a one-cell to a four-cell
+system.  This time is worth optimizing but is not a dominant effect."
+"""
+
+import pytest
+
+from repro.bench.report import ComparisonTable
+from repro.core.hive import boot_hive
+from repro.hardware.machine import MachineConfig
+from repro.sim.engine import Simulator
+from repro.workloads import Platform, PmakeWorkload
+
+PAPER = {
+    "cache_hit_faults": 8_935,
+    "remote_faults": 4_946,
+    "fault_ms_1cell": 117,
+    "fault_ms_4cell": 455,
+    "share_of_slowdown_pct": 13,
+}
+
+LOCAL_FAULT_NS = 6_900
+REMOTE_FAULT_NS = 50_700
+
+
+def _run(ncells):
+    sim = Simulator()
+    hive = boot_hive(sim, num_cells=ncells, machine_config=MachineConfig())
+    hive.namespace.mount("/tmp", 1)
+    hive.namespace.mount("/usr", 2)
+    result = PmakeWorkload().run(Platform(hive))
+    faults = hive.total_counter("faults")
+    remote = hive.total_counter("faults.remote")
+    local_hits = faults - remote
+    fault_ns = local_hits * LOCAL_FAULT_NS + remote * REMOTE_FAULT_NS
+    return result.elapsed_s, faults, remote, fault_ns
+
+
+def test_pmake_fault_share(once):
+    def run():
+        return _run(1), _run(4)
+
+    (t1, faults1, _r1, fault_ns1), (t4, faults4, remote4, fault_ns4) = \
+        once(run)
+
+    slowdown_s = t4 - t1
+    fault_delta_ms = (fault_ns4 - fault_ns1) / 1e6
+    # Cumulative fault time is across processors; wall-clock share
+    # divides by the four CPUs, as the paper's 13 % arithmetic does.
+    share_pct = (fault_delta_ms / 4) / (slowdown_s * 1e3) * 100
+
+    table = ComparisonTable("Section 5.2 — pmake remote-fault contribution")
+    table.add("page-cache-hit faults", PAPER["cache_hit_faults"], faults4)
+    table.add("remote on 4 cells", PAPER["remote_faults"], remote4)
+    table.add("fault time, 1 cell", PAPER["fault_ms_1cell"],
+              round(fault_ns1 / 1e6), "ms cumulative")
+    table.add("fault time, 4 cells", PAPER["fault_ms_4cell"],
+              round(fault_ns4 / 1e6), "ms cumulative")
+    table.add("share of 1→4 cell slowdown", PAPER["share_of_slowdown_pct"],
+              round(share_pct, 1), "%")
+    table.print()
+
+    # Shape: thousands of faults, roughly half remote on four cells; the
+    # fault-time growth is real but a minor slice of the total slowdown.
+    assert 4_000 < faults4 < 16_000
+    assert 0.25 < remote4 / faults4 < 0.75
+    assert fault_ns4 > 2.5 * fault_ns1
+    assert 3 < share_pct < 35

@@ -1,0 +1,87 @@
+"""Table 7.2: workload timings on a four-processor machine.
+
+Paper: ocean 6.07 s on IRIX with 1/1/−1 % slowdown on 1/2/4-cell Hive;
+raytrace 4.35 s with 0/0/1 %; pmake 5.77 s with 1/10/11 %.
+"""
+
+import pytest
+
+from repro.bench.report import ComparisonTable
+from repro.core.hive import boot_hive, boot_irix
+from repro.hardware.machine import MachineConfig
+from repro.sim.engine import Simulator
+from repro.workloads import (
+    OceanWorkload,
+    Platform,
+    PmakeWorkload,
+    RaytraceWorkload,
+)
+
+PAPER_IRIX_SECONDS = {"ocean": 6.07, "raytrace": 4.35, "pmake": 5.77}
+PAPER_SLOWDOWN_PCT = {
+    "ocean": {1: 1, 2: 1, 4: -1},
+    "raytrace": {1: 0, 2: 0, 4: 1},
+    "pmake": {1: 1, 2: 10, 4: 11},
+}
+
+
+def _mounts(namespace):
+    namespace.mount("/tmp", 1)
+    namespace.mount("/usr", 2)
+    namespace.mount("/results", 0)
+
+
+def _run_on_irix(workload_cls):
+    sim = Simulator()
+    kernel = boot_irix(sim)
+    _mounts(kernel.namespace)
+    return workload_cls().run(Platform(kernel))
+
+
+def _run_on_hive(workload_cls, ncells):
+    sim = Simulator()
+    hive = boot_hive(sim, num_cells=ncells)
+    _mounts(hive.namespace)
+    return workload_cls().run(Platform(hive))
+
+
+WORKLOADS = [("ocean", OceanWorkload), ("raytrace", RaytraceWorkload),
+             ("pmake", PmakeWorkload)]
+
+
+@pytest.mark.parametrize("name,workload_cls", WORKLOADS)
+def test_table_7_2(name, workload_cls, once):
+    def run_all():
+        base = _run_on_irix(workload_cls)
+        rows = {"irix_s": base.elapsed_s}
+        for ncells in (1, 2, 4):
+            result = _run_on_hive(workload_cls, ncells)
+            assert result.jobs_failed == 0
+            assert result.outputs_ok
+            rows[ncells] = (result.elapsed_s / base.elapsed_s - 1) * 100
+        return rows
+
+    rows = once(run_all)
+
+    table = ComparisonTable(f"Table 7.2 — {name} on 4 CPUs")
+    table.add("IRIX 5.2 time", PAPER_IRIX_SECONDS[name],
+              round(rows["irix_s"], 2), "s")
+    for ncells in (1, 2, 4):
+        table.add(f"slowdown, {ncells} cell(s)",
+                  PAPER_SLOWDOWN_PCT[name][ncells],
+                  round(rows[ncells], 1), "%")
+    table.print()
+
+    # Shape assertions: baseline within 5 % of the paper's figure, and
+    # the slowdown character matches (pmake pays for cells; the parallel
+    # applications barely notice).
+    assert abs(rows["irix_s"] - PAPER_IRIX_SECONDS[name]) \
+        / PAPER_IRIX_SECONDS[name] < 0.05
+    assert abs(rows[1]) < 3.0
+    if name == "pmake":
+        assert 6.0 < rows[2] < 16.0
+        assert 6.0 < rows[4] < 18.0
+        assert rows[4] >= rows[2] - 1.0
+    else:
+        assert abs(rows[2]) < 3.0
+        assert abs(rows[4]) < 3.0

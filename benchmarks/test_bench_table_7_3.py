@@ -1,0 +1,65 @@
+"""Table 7.3: local vs remote latency for kernel operations.
+
+Paper (two-processor two-cell system, warm file cache):
+
+==============================  =======  =======  ============
+operation                       local    remote   remote/local
+==============================  =======  =======  ============
+4 MB file read                  65.0 ms  76.2 ms  1.2
+4 MB file write/extend          83.7 ms  87.3 ms  1.1
+open file                       148 us   580 us   3.9
+page fault hit in file cache    6.9 us   50.7 us  7.4
+==============================  =======  =======  ============
+"""
+
+import pytest
+
+from repro.bench.report import ComparisonTable
+from repro.workloads.micro import (
+    boot_two_cell,
+    measure_file_ops,
+    measure_page_fault,
+)
+
+PAPER = {
+    "read4mb": (65.0e6, 76.2e6, 1.2),
+    "write4mb": (83.7e6, 87.3e6, 1.1),
+    "open": (148e3, 580e3, 3.9),
+    "fault": (6.9e3, 50.7e3, 7.4),
+}
+
+
+def test_table_7_3(once):
+    def run():
+        local_ops = measure_file_ops(boot_two_cell(), remote=False)
+        remote_ops = measure_file_ops(boot_two_cell(), remote=True)
+        local_fault = measure_page_fault(boot_two_cell(), remote=False,
+                                         nfaults=256)
+        remote_fault = measure_page_fault(boot_two_cell(), remote=True,
+                                          nfaults=256)
+        return {
+            "read4mb": (local_ops["read4mb_ns"], remote_ops["read4mb_ns"]),
+            "write4mb": (local_ops["write4mb_ns"],
+                         remote_ops["write4mb_ns"]),
+            "open": (local_ops["open_ns"], remote_ops["open_ns"]),
+            "fault": (local_fault["mean_ns"], remote_fault["mean_ns"]),
+        }
+
+    measured = once(run)
+
+    table = ComparisonTable("Table 7.3 — local vs remote kernel operations")
+    for op, (p_local, p_remote, p_ratio) in PAPER.items():
+        m_local, m_remote = measured[op]
+        table.add(f"{op} local", p_local / 1e3, m_local / 1e3, "us")
+        table.add(f"{op} remote", p_remote / 1e3, m_remote / 1e3, "us")
+        table.add(f"{op} remote/local", p_ratio,
+                  round(m_remote / m_local, 2), "x")
+    table.print()
+
+    for op, (p_local, p_remote, p_ratio) in PAPER.items():
+        m_local, m_remote = measured[op]
+        assert abs(m_local - p_local) / p_local < 0.05, op
+        assert abs(m_remote - p_remote) / p_remote < 0.07, op
+        # The ordering claim: complex ops cheap to remote, quick ops
+        # expensive to remote.
+        assert abs(m_remote / m_local - p_ratio) / p_ratio < 0.15, op

@@ -1,0 +1,23 @@
+"""Reproduction of *Hive: Fault Containment for Shared-Memory
+Multiprocessors* (Chapin et al., SOSP 1995).
+
+Public entry points:
+
+* :func:`repro.core.boot_hive` / :func:`repro.core.boot_irix` — boot a
+  multicellular Hive or the IRIX-like baseline on a simulated FLASH
+  machine;
+* :class:`repro.sim.Simulator` — the deterministic discrete-event engine
+  everything runs on;
+* :mod:`repro.workloads` — the paper's workloads (pmake, ocean,
+  raytrace) and microbenchmarks;
+* :mod:`repro.bench` — the fault-injection experiment runner and
+  paper-vs-measured reporting;
+* ``python -m repro`` — command-line driver.
+
+See README.md for a tour, DESIGN.md for the system inventory and
+substitutions, and EXPERIMENTS.md for recorded paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,11 @@
+"""Experiment harness: drives the paper's evaluation (Section 7).
+
+``faultexp`` runs the Table 7.4 fault-injection experiments end to end
+(inject, measure latency until last cell enters recovery, containment and
+output-corruption checks); ``report`` renders paper-vs-measured tables.
+"""
+
+from repro.bench.faultexp import FaultExperimentRunner, FaultTrialResult
+from repro.bench.report import ComparisonTable
+
+__all__ = ["ComparisonTable", "FaultExperimentRunner", "FaultTrialResult"]

@@ -1,0 +1,65 @@
+"""Paper-vs-measured report rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class ComparisonRow:
+    label: str
+    paper: Optional[Number]
+    measured: Optional[Number]
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.paper or not isinstance(self.measured, (int, float)):
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class ComparisonTable:
+    """A table of paper-reported vs measured values, printable as text."""
+
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def add(self, label: str, paper: Optional[Number],
+            measured: Optional[Number], unit: str = "") -> None:
+        self.rows.append(ComparisonRow(label, paper, measured, unit))
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, str):
+            return value
+        if isinstance(value, float):
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:.2f}".rstrip("0").rstrip(".")
+        return f"{value:,}"
+
+    def render(self) -> str:
+        label_w = max([len(r.label) for r in self.rows] + [len("metric")])
+        lines = [self.title, "=" * len(self.title)]
+        header = (f"{'metric'.ljust(label_w)}  {'paper':>12}  "
+                  f"{'measured':>12}  {'ratio':>6}  unit")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            ratio = f"{row.ratio:.2f}" if row.ratio is not None else "-"
+            lines.append(
+                f"{row.label.ljust(label_w)}  {self._fmt(row.paper):>12}  "
+                f"{self._fmt(row.measured):>12}  {ratio:>6}  {row.unit}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()

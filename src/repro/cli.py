@@ -1,0 +1,197 @@
+"""Command-line interface: run workloads and experiments without code.
+
+Usage::
+
+    python -m repro run pmake --cells 4
+    python -m repro run ocean --irix
+    python -m repro micro
+    python -m repro inject hw_random --trials 3
+    python -m repro inject sw_cow_tree --agreement voting
+
+``run`` executes one of the paper's workloads on a chosen configuration
+and prints the elapsed simulated time and health counters; ``micro``
+prints the microbenchmark anchors against the paper's values; ``inject``
+runs Table 7.4 fault-injection trials and reports containment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.faultexp import (
+    ALL_SCENARIOS,
+    PAPER_TABLE_7_4,
+    FaultExperimentRunner,
+)
+from repro.bench.report import ComparisonTable
+from repro.core.hive import boot_hive, boot_irix
+from repro.core.invariants import check_system
+from repro.hardware.machine import MachineConfig
+from repro.hardware.params import HardwareParams
+from repro.sim.engine import Simulator
+from repro.workloads import (
+    OceanWorkload,
+    Platform,
+    PmakeWorkload,
+    RaytraceWorkload,
+)
+
+WORKLOADS = {
+    "pmake": PmakeWorkload,
+    "ocean": OceanWorkload,
+    "raytrace": RaytraceWorkload,
+}
+
+
+def _build_platform(args) -> Platform:
+    params = HardwareParams(num_nodes=args.nodes,
+                            cpus_per_node=args.cpus_per_node)
+    sim = Simulator()
+    if args.irix:
+        kernel = boot_irix(sim, machine_config=MachineConfig(
+            params=params, seed=args.seed, firewall_enabled=False))
+        target = kernel
+    else:
+        target = boot_hive(sim, num_cells=args.cells,
+                           machine_config=MachineConfig(params=params,
+                                                        seed=args.seed),
+                           agreement=args.agreement,
+                           with_wax=args.wax)
+    namespace = (target.namespace if not args.irix
+                 else target.namespace)
+    namespace.mount("/tmp", 1 % args.nodes)
+    namespace.mount("/usr", 2 % args.nodes)
+    namespace.mount("/results", 0)
+    return Platform(target)
+
+
+def cmd_run(args) -> int:
+    workload_cls = WORKLOADS[args.workload]
+    platform = _build_platform(args)
+    config = "IRIX" if args.irix else f"{args.cells}-cell Hive"
+    print(f"running {args.workload} on {config} "
+          f"({args.nodes} nodes, seed {args.seed})...")
+    result = workload_cls().run(platform)
+    print(f"elapsed (simulated) : {result.elapsed_s:.3f} s")
+    print(f"jobs completed      : {result.jobs_completed}")
+    print(f"jobs failed         : {result.jobs_failed}")
+    print(f"outputs verified    : {result.outputs_ok}")
+    if not args.irix:
+        hive = platform.target
+        print(f"remote page faults  : "
+              f"{hive.total_counter('faults.remote')}")
+        problems = check_system(hive)
+        print(f"invariant check     : "
+              f"{'clean' if not problems else problems}")
+        if problems:
+            return 1
+    return 0 if result.outputs_ok and result.jobs_failed == 0 else 1
+
+
+def cmd_micro(args) -> int:
+    from repro.workloads.micro import (
+        boot_two_cell,
+        measure_careful_reference,
+        measure_file_ops,
+        measure_page_fault,
+        measure_rpc,
+    )
+
+    table = ComparisonTable("Microbenchmark anchors (paper vs measured)")
+    local = measure_page_fault(boot_two_cell(args.seed), remote=False,
+                               nfaults=128)
+    remote = measure_page_fault(boot_two_cell(args.seed), remote=True,
+                                nfaults=128)
+    table.add("local page fault", 6.9, round(local["mean_ns"] / 1e3, 2),
+              "us")
+    table.add("remote page fault", 50.7,
+              round(remote["mean_ns"] / 1e3, 2), "us")
+    system = boot_two_cell(args.seed)
+    table.add("null RPC", 7.2,
+              round(measure_rpc(system)["mean_ns"] / 1e3, 2), "us")
+    table.add("null queued RPC", 34.0,
+              round(measure_rpc(system, queued=True)["mean_ns"] / 1e3, 2),
+              "us")
+    table.add("careful reference", 1.16,
+              round(measure_careful_reference(system)["mean_ns"] / 1e3, 3),
+              "us")
+    ops = measure_file_ops(boot_two_cell(args.seed), remote=False)
+    table.add("open (local)", 148, round(ops["open_ns"] / 1e3, 1), "us")
+    table.add("4 MB read (local)", 65.0,
+              round(ops["read4mb_ns"] / 1e6, 1), "ms")
+    table.print()
+    return 0
+
+
+def cmd_inject(args) -> int:
+    runner = FaultExperimentRunner(agreement=args.agreement)
+    scenarios = (list(ALL_SCENARIOS) if args.scenario == "all"
+                 else [args.scenario])
+    failures = 0
+    for scenario in scenarios:
+        workload, _n, avg, mx = PAPER_TABLE_7_4[scenario]
+        summary = runner.run_scenario(scenario, args.trials,
+                                      seed_base=args.seed)
+        ok = summary.contained_count == len(summary.trials)
+        failures += 0 if ok else 1
+        print(f"{scenario} ({workload}): "
+              f"contained {summary.contained_count}/{len(summary.trials)}, "
+              f"detection avg {summary.avg_latency_ms:.1f} ms / "
+              f"max {summary.max_latency_ms:.1f} ms "
+              f"(paper {avg}/{mx} ms)")
+        for trial in summary.trials:
+            if not trial.contained:
+                print(f"   NOT CONTAINED (seed {trial.seed}): "
+                      f"{trial.notes}")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hive (SOSP 1995) reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=1995)
+
+    p_run = sub.add_parser("run", help="run a paper workload")
+    p_run.add_argument("workload", choices=sorted(WORKLOADS))
+    p_run.add_argument("--cells", type=int, default=4)
+    p_run.add_argument("--nodes", type=int, default=4)
+    p_run.add_argument("--cpus-per-node", type=int, default=1)
+    p_run.add_argument("--irix", action="store_true",
+                       help="run on the IRIX baseline instead of Hive")
+    p_run.add_argument("--wax", action="store_true",
+                       help="boot with the Wax policy process")
+    p_run.add_argument("--agreement", choices=["voting", "oracle"],
+                       default="voting")
+    common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_micro = sub.add_parser("micro",
+                             help="print the microbenchmark anchors")
+    common(p_micro)
+    p_micro.set_defaults(fn=cmd_micro)
+
+    p_inject = sub.add_parser("inject",
+                              help="run Table 7.4 fault-injection trials")
+    p_inject.add_argument("scenario",
+                          choices=sorted(ALL_SCENARIOS) + ["all"])
+    p_inject.add_argument("--trials", type=int, default=1)
+    p_inject.add_argument("--agreement", choices=["voting", "oracle"],
+                          default="oracle")
+    common(p_inject)
+    p_inject.set_defaults(fn=cmd_inject)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

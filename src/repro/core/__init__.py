@@ -1,0 +1,36 @@
+"""Hive: the paper's contribution — a multicellular kernel architecture.
+
+The modules here extend the UNIX substrate (:mod:`repro.unix`) into the
+system of Sections 3-6 of the paper:
+
+* :mod:`repro.core.rpc` — intercell RPC on the SIPS hardware primitive:
+  an interrupt-level fast path and a queued server-pool slow path
+  (Section 6);
+* :mod:`repro.core.careful` — the careful reference protocol for direct
+  reads of a remote cell's kernel structures (Section 4.1);
+* :mod:`repro.core.cell` — the cell kernel: a :class:`LocalKernel`
+  extended with intercell hooks, clock monitoring, and panic wiring;
+* :mod:`repro.core.sharing` — logical-level (export/import/release) and
+  physical-level (loan/borrow/return) memory sharing on extended pfdats
+  (Section 5);
+* :mod:`repro.core.wildwrite` — firewall management policy and the
+  preemptive-discard bookkeeping (Section 4.2);
+* :mod:`repro.core.failure` — failure hints (RPC timeout, bus error,
+  clock monitoring, careful-reference check failures) and the two-strike
+  corrupt-accuser rule (Section 4.3);
+* :mod:`repro.core.agreement` — distributed agreement on the live set,
+  plus the oracle the paper used for its experiments;
+* :mod:`repro.core.recovery` — double-global-barrier recovery, preemptive
+  discard, recovery-master election, diagnostics, reboot/reintegration;
+* :mod:`repro.core.ssi` — the single-system image: remote fork,
+  distributed process groups and signals, spanning tasks;
+* :mod:`repro.core.wax` — the user-level resource policy process;
+* :mod:`repro.core.kfaults` — kernel-data corruption injection
+  (the Table 7.4 software fault experiments);
+* :mod:`repro.core.hive` — :class:`HiveSystem`, the boot/assembly facade
+  (also builds the IRIX baseline configuration).
+"""
+
+from repro.core.hive import HiveSystem, boot_hive, boot_irix
+
+__all__ = ["HiveSystem", "boot_hive", "boot_irix"]

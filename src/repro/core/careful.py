@@ -1,0 +1,165 @@
+"""The careful reference protocol (Section 4.1).
+
+One cell reads another's kernel data structures directly "in cases where
+RPCs are too slow, an up-to-date view of the data is required, or the data
+needs to be published to a large number of cells".  The protocol:
+
+1. ``careful_on``: capture the current context and record which cell will
+   be accessed, so a bus error restores control instead of panicking;
+2. check every remote address for alignment and for lying in the expected
+   cell's memory range;
+3. copy values locally before sanity-checking (defends against values
+   changing mid-operation);
+4. check the allocator-maintained structure type tag;
+5. ``careful_off``: future bus errors again cause a panic.
+
+Failures raise :class:`CarefulReferenceFault` (never a panic) and are
+reported to the reading cell as failure *hints* about the remote cell.
+
+Timing: the measured careful clock read is 1.16 us end to end, 0.7 us of
+which is the cache miss to the remote line; the protocol software costs
+are charged from :class:`~repro.unix.costs.KernelCosts` to land there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.hardware.errors import BusError
+from repro.unix.errors import CarefulReferenceFault
+from repro.unix.kheap import KOBJ_ALIGN, KObject
+
+
+class CarefulReader:
+    """Careful-reference machinery for one reading cell."""
+
+    def __init__(self, cell):
+        self.cell = cell
+        self.sim = cell.sim
+        self.costs = cell.costs
+        #: targets of currently-open careful sections (one per thread in
+        #: a careful section; several threads on different processors of
+        #: the cell can be in sections concurrently).  Bus errors while
+        #: any section is open against the erroring cell are captured
+        #: instead of escalating to panic.
+        self._active: List[int] = []
+        self.reads = 0
+        self.faults_detected = 0
+
+    @property
+    def active_target(self) -> Optional[int]:
+        return self._active[-1] if self._active else None
+
+    # -- protocol steps ----------------------------------------------------
+
+    def careful_on(self, remote_cell_id: int) -> Generator:
+        """Step 1: record the target cell and capture the stack frame."""
+        self._active.append(remote_cell_id)
+        yield self.sim.timeout(self.costs.careful_on_ns)
+        return None
+
+    def careful_off(self) -> Generator:
+        """Step 5: restore panic-on-bus-error behaviour."""
+        if self._active:
+            self._active.pop()
+        yield self.sim.timeout(self.costs.careful_off_ns)
+        return None
+
+    def _fail(self, remote_cell_id: int, check: str,
+              detail: str = "") -> CarefulReferenceFault:
+        self.faults_detected += 1
+        if remote_cell_id in self._active:
+            self._active.remove(remote_cell_id)
+        fault = CarefulReferenceFault(remote_cell_id, check, detail)
+        # A failed consistency check is a failure hint (Section 4.3).
+        self.cell.failure_hint(remote_cell_id,
+                               f"careful reference {check} check: {detail}")
+        return fault
+
+    # -- composite reads ---------------------------------------------------
+
+    def read_word(self, remote_cell_id: int, addr: int) -> Generator:
+        """Read one word of remote memory under careful protection.
+
+        Used by clock monitoring; returns the latency-accurate read of the
+        shared location (here: its current value is produced by the
+        owning cell object, the *memory traffic* by the coherence model).
+        """
+        yield from self.careful_on(remote_cell_id)
+        try:
+            latency = self.cell.machine.coherence.read(
+                self.cell.cpu_ids[0], addr)
+        except BusError as exc:
+            raise self._fail(remote_cell_id, "bus_error", str(exc))
+        yield self.sim.timeout(latency)
+        self.reads += 1
+        yield from self.careful_off()
+        return None
+
+    def read_object(self, remote_cell_id: int, addr: int,
+                    expected_type: str,
+                    copy_words: int = 8) -> Generator:
+        """Careful read of a typed kernel structure; returns a snapshot.
+
+        Applies every check of the protocol; the returned object is the
+        structure itself (our stand-in for the local copy — callers must
+        not mutate it, mirroring the read-only discipline the paper's
+        lookup algorithms obey).
+        """
+        yield from self.careful_on(remote_cell_id)
+        obj = yield from self._read_object_body(remote_cell_id, addr,
+                                                expected_type, copy_words)
+        yield from self.careful_off()
+        return obj
+
+    def _read_object_body(self, remote_cell_id: int, addr: int,
+                          expected_type: str,
+                          copy_words: int) -> Generator:
+        """Steps 2-4 (caller wraps in on/off for multi-read sections)."""
+        # Step 2: alignment and range checks.
+        yield self.sim.timeout(self.costs.careful_check_ns)
+        if addr % KOBJ_ALIGN != 0:
+            raise self._fail(remote_cell_id, "alignment", f"addr={addr:#x}")
+        heap_range = self.cell.registry.heap_range_of(remote_cell_id)
+        if heap_range is None:
+            raise self._fail(remote_cell_id, "range",
+                             f"cell {remote_cell_id} unknown")
+        lo, hi = heap_range
+        if not lo <= addr < hi:
+            raise self._fail(
+                remote_cell_id, "range",
+                f"addr={addr:#x} outside cell {remote_cell_id} "
+                f"kernel range [{lo:#x},{hi:#x})")
+        # Step 4 (tag read): a real memory access — may bus-error.
+        try:
+            latency = self.cell.machine.coherence.read(
+                self.cell.cpu_ids[0], addr)
+        except BusError as exc:
+            raise self._fail(remote_cell_id, "bus_error", str(exc))
+        yield self.sim.timeout(latency)
+        resolved = self.cell.registry.resolve_kernel_address(
+            remote_cell_id, addr)
+        yield self.sim.timeout(self.costs.careful_check_ns)
+        if resolved is None:
+            raise self._fail(remote_cell_id, "type_tag",
+                             f"no allocation at {addr:#x}")
+        ktype, obj = resolved
+        if ktype != expected_type:
+            raise self._fail(remote_cell_id, "type_tag",
+                             f"expected {expected_type!r} found {ktype!r}")
+        # Step 3: copy to local memory before further checks.
+        yield self.sim.timeout(copy_words * self.costs.careful_copy_ns_per_word)
+        self.reads += 1
+        return obj
+
+    # -- bus-error interception for non-careful kernel code ------------------
+
+    def handle_kernel_bus_error(self, exc: BusError) -> bool:
+        """Trap-handler policy: True if the error was captured.
+
+        Inside a careful section the saved context is restored (the
+        caller sees :class:`CarefulReferenceFault`); outside one, a bus
+        error during kernel execution indicates internal corruption and
+        the cell panics.
+        """
+        return bool(self._active)

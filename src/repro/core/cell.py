@@ -1,0 +1,366 @@
+"""The Hive cell: one independent kernel cooperating in the multicell.
+
+``Cell`` composes the UNIX substrate with the sharing and SSI mixins and
+adds the fault-containment machinery: the RPC subsystem, the careful
+reader, the failure detector (with ring clock monitoring), panic wiring,
+and the per-cell recovery algorithm with its double global barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.core.careful import CarefulReader
+from repro.core.failure import FailureDetector
+from repro.core.rpc import RpcSubsystem
+from repro.core.sharing import SharingMixin
+from repro.core.ssi import SsiMixin
+from repro.core.wildwrite import FirewallManager
+from repro.unix.address_space import ANON_REGION
+from repro.unix.kernel import GlobalNamespace, LocalKernel
+from repro.unix.process import SIGKILL
+
+
+class Cell(SharingMixin, SsiMixin, LocalKernel):
+    """One cell of a Hive system."""
+
+    def __init__(self, sim, machine, cell_id: int, node_ids: List[int],
+                 namespace: GlobalNamespace, registry, costs=None,
+                 filesystems=None, incarnation: int = 0):
+        self.registry = registry
+        self.incarnation = incarnation
+        super().__init__(sim, machine, cell_id, node_ids, namespace,
+                         costs=costs)
+        if filesystems is not None:
+            # Reintegration: the platters survive the reboot.
+            self.filesystems = filesystems
+        self.rpc = RpcSubsystem(sim, self, machine.sips, self.costs)
+        from repro.core.usermsg import UserMsgService
+
+        self.usermsg = UserMsgService(self)
+        self.careful = CarefulReader(self)
+        self.detector = FailureDetector(self)
+        self.firewall_mgr = FirewallManager(self)
+        #: hints pushed by Wax (sanity-checked on use, Section 3.2)
+        self.wax_hints: Dict[str, object] = {}
+        #: anonymous logical pages lost to preemptive discard; faults on
+        #: them kill the faulting process (the data is unrecoverable)
+        self.poisoned_anon: Set[tuple] = set()
+        self.in_recovery = False
+        self.recovery_done_event = sim.event(f"c{cell_id}.recovered")
+        self.recovery_entries: List[int] = []
+        self._init_sharing()
+        self._init_ssi()
+
+    # ------------------------------------------------------------------
+    # detection wiring
+    # ------------------------------------------------------------------
+
+    def failure_hint(self, suspect_cell: int, reason: str) -> None:
+        self.detector.hint(suspect_cell, reason)
+
+    def validate_wax_hints(self, hints: dict) -> bool:
+        """Sanity-check policy input from Wax (Section 3.2).
+
+        "Each cell protects itself by sanity-checking the inputs it
+        receives from Wax" — a damaged Wax can cost performance but not
+        correctness, so anything suspicious is simply rejected.
+        """
+        if not isinstance(hints, dict):
+            return False
+        for key in ("borrow_target", "clockhand_target"):
+            value = hints.get(key)
+            if value is None:
+                continue
+            if (not isinstance(value, int)
+                    or not self.registry.is_valid_cell(value)
+                    or value == self.kernel_id
+                    or not self.registry.is_live(value)):
+                return False
+        gang = hints.get("gang_task")
+        if gang is not None:
+            if not isinstance(gang, int) or self.registry.task(gang) is None:
+                return False
+        return True
+
+    def clock_tick_hook(self) -> None:
+        """Every tick: run the clock-monitoring heuristic (Section 4.3)."""
+        self.detector.clock_check()
+
+    def apply_wax_hints(self) -> None:
+        """Act on freshly-pushed Wax hints that need kernel action.
+
+        Gang scheduling / space sharing (Table 3.4): grant this cell's
+        processors exclusively to the local components of the hinted
+        spanning task; revoke the grant when the hint goes away.  The
+        reservation dies automatically with the process.
+        """
+        gang_task = self.wax_hints.get("gang_task")
+        current = getattr(self, "_gang_reserved_pids", set())
+        wanted = set()
+        if isinstance(gang_task, int):
+            task = self.registry.task(gang_task)
+            if task is not None and not task.dead:
+                wanted = {pid for pid, cell in task.components.items()
+                          if cell == self.kernel_id
+                          and pid in self.processes
+                          and not self.processes[pid].exited}
+        for pid in current - wanted:
+            self.sched.release_reservation(pid)
+        for pid in wanted - current:
+            self.sched.reserve_cpus(pid, set(self.cpu_ids))
+        self._gang_reserved_pids = wanted
+
+    def clockhand_preferred_source(self):
+        """Wax's clock-hand hint: free the pressured cell's memory first
+        (Section 5.7).  Sanity-checked like all Wax input."""
+        target = self.wax_hints.get("clockhand_target")
+        if (isinstance(target, int) and target != self.kernel_id
+                and self.registry.is_live(target)):
+            return target
+        return None
+
+    def panic(self, reason: str) -> None:
+        if not self.alive:
+            return
+        super().panic(reason)
+        self.rpc.shutdown()
+        if not self.recovery_done_event.triggered:
+            self.recovery_done_event.fail(
+                RuntimeError(f"cell {self.kernel_id} panicked"))
+
+    def die_confirmed(self, reason: str) -> None:
+        """Agreement confirmed this cell failed: finish it off.
+
+        For a software fault the cell has usually already panicked; for a
+        hardware fault its node is halted and threads are frozen mid-run —
+        they are killed here so the simulation drains.
+        """
+        if self.alive:
+            self.alive = False
+            self.panic_reason = reason
+            for proc in list(self.processes.values()):
+                for thread in list(proc.threads):
+                    thread.kill(f"cell declared failed: {reason}")
+            self.rpc.shutdown()
+            if not self.recovery_done_event.triggered:
+                self.recovery_done_event.fail(RuntimeError(reason))
+
+    # ------------------------------------------------------------------
+    # recovery (Sections 4.2/4.3)
+    # ------------------------------------------------------------------
+
+    def run_recovery(self, round_id: int, dead: Set[int],
+                     survivors: Set[int], barriers, record) -> Generator:
+        """This cell's half of the double-barrier recovery round."""
+        self.in_recovery = True
+        if self.recovery_done_event.triggered:
+            self.recovery_done_event = self.sim.event(
+                f"c{self.kernel_id}.recovered")
+        self.recovery_entries.append(self.sim.now)
+
+        # -- pre-barrier-1: flush TLBs, remove remote mappings ----------
+        yield self.sim.timeout(self.costs.tlb_flush_ns * len(self.cpu_ids))
+        unmapped = 0
+        for proc in list(self.processes.values()):
+            if proc.exited:
+                continue
+            for vpn, pte in proc.aspace.remote_mappings(self.kernel_id):
+                proc.aspace.unmap_page(self.kernel_id, vpn)
+                if pte.pfdat is not None:
+                    pte.pfdat.refcount = max(0, pte.pfdat.refcount - 1)
+                unmapped += 1
+        # Drop every logical import: the binding must be re-established
+        # through a checked RPC after recovery.
+        for pf in list(self.pfdats.all_pfdats()):
+            if pf.imported_from is not None:
+                borrowed_from = pf.borrowed_from
+                pf.imported_from = None
+                if pf.extended and borrowed_from is None:
+                    self.pfdats.release_extended(pf)
+                else:
+                    self.pfdats.remove(pf)
+                unmapped += 1
+        for pf in list(self.pfdats.reserved.values()):
+            pf.imported_from = None
+        yield self.sim.timeout(self.costs.unmap_page_ns * unmapped)
+
+        ev = barriers.join((round_id, 1), self.kernel_id, survivors)
+        yield ev
+        yield self.sim.timeout(self.costs.barrier_round_ns)
+
+        # -- post-barrier-1: firewall revocation + preemptive discard ----
+        # No further valid page faults or remote accesses are pending.
+        # The VM cleanup walks the whole pfdat table twice (detecting
+        # pages writable by failed cells, then revoking grants) — the
+        # bulk of the paper's 40-80 ms recovery latency.
+        npfdats = len(self.pfdats.owned_frames)
+        yield self.sim.timeout(
+            2 * npfdats * self.costs.recovery_scan_per_pfdat_ns)
+        discarded = yield from self._preemptive_discard(dead, record)
+        yield from self._revoke_all_grants()
+        killed = self._kill_dependent_processes(dead)
+        record.killed_processes += killed
+        record.discarded_pages += discarded
+        self._resolve_dead_children(dead)
+        yield self.sim.timeout(self.costs.recovery_fixed_ns)
+
+        ev = barriers.join((round_id, 2), self.kernel_id, survivors)
+        yield ev
+        yield self.sim.timeout(self.costs.barrier_round_ns)
+
+        self.in_recovery = False
+        if not self.recovery_done_event.triggered:
+            self.recovery_done_event.succeed()
+        self.metrics.counter("recoveries").add()
+        return None
+
+    def _preemptive_discard(self, dead: Set[int], record) -> Generator:
+        """Discard every page the failed cells could have written.
+
+        "Hive makes the pessimistic assumption that all potentially
+        damaged pages have been corrupted.  When a cell failure is
+        detected, all pages writable by the failed cell are preemptively
+        discarded" (Section 3.1).
+        """
+        discarded = 0
+        lost_files: Set[tuple] = set()
+        for dead_cell in dead:
+            for pf in self.firewall_mgr.frames_writable_by(dead_cell):
+                discarded += self._discard_page(pf, dead_cell, lost_files)
+        # Frames we borrowed from a dead memory home died with it, along
+        # with whatever we cached in them.
+        for pf in list(self.pfdats.all_pfdats()):
+            if pf.extended and pf.borrowed_from in dead:
+                discarded += self._discard_page(pf, pf.borrowed_from,
+                                                lost_files)
+                self._borrowed_free = [b for b in self._borrowed_free
+                                       if b is not pf]
+                if self.pfdats.by_frame(pf.frame) is pf:
+                    self.pfdats.release_extended(pf)
+        self._borrowed_free = [b for b in self._borrowed_free
+                               if b.borrowed_from not in dead]
+        record.files_lost += len(lost_files)
+        yield self.sim.timeout(self.costs.discard_per_page_ns * discarded)
+        return discarded
+
+    def _discard_page(self, pf, dead_cell: int,
+                      lost_files: Set[tuple]) -> int:
+        """Discard one potentially-corrupt page."""
+        self.machine.coherence.invalidate_frame(pf.frame)
+        logical_id = pf.logical_id
+        if logical_id is not None:
+            tag, idx = logical_id
+            if pf.dirty and tag[0] == "file":
+                fs = self.filesystems.get(tag[1])
+                if fs is not None:
+                    try:
+                        inode = fs.inode(tag[2])
+                        if (tag[1], tag[2]) not in lost_files:
+                            fs.bump_generation(inode)
+                            lost_files.add((tag[1], tag[2]))
+                    except Exception:
+                        pass
+            elif tag[0] in ("anon", "task"):
+                # Anonymous data has no backing store: it is simply gone.
+                self.poisoned_anon.add(logical_id)
+            self.pfdats.remove(pf)
+        # Remove any local mappings of the frame.
+        for proc in list(self.processes.values()):
+            if proc.exited:
+                continue
+            pmap = proc.aspace.ptes.get(self.kernel_id, {})
+            stale = [vpn for vpn, pte in pmap.items()
+                     if pte.frame == pf.frame]
+            for vpn in stale:
+                proc.aspace.unmap_page(self.kernel_id, vpn)
+        pf.exported_to.clear()
+        pf.export_writable.clear()
+        pf.dirty = False
+        pf.refcount = 0
+        if pf.frame in self.pfdats.reserved and pf.loaned_to == dead_cell:
+            reclaimed = self.pfdats.return_from_reserved(pf.frame)
+            self.pfdats.free_frame(reclaimed)
+        elif not pf.extended and not pf.on_free_list \
+                and pf.frame in self.pfdats.owned_frames \
+                and pf.frame not in self.pfdats.reserved:
+            self.pfdats.free_frame(pf)
+        return 1
+
+    def _revoke_all_grants(self) -> Generator:
+        """Revoke every remote write grant on our frames (no RPCs needed:
+        the firewalls are on our own nodes)."""
+        revoked = 0
+        for pf in self.pfdats.all_pfdats():
+            if pf.export_writable and not pf.extended:
+                self.firewall_mgr.revoke_all_local(pf)
+                revoked += 1
+            pf.exported_to.clear()
+        for pf in self.pfdats.reserved.values():
+            if pf.export_writable:
+                self.firewall_mgr.revoke_all_local(pf)
+                revoked += 1
+        yield self.sim.timeout(
+            (self.machine.params.firewall_update_ns
+             + self.machine.params.firewall_revoke_extra_ns) * revoked)
+        return None
+
+    def _resolve_dead_children(self, dead: Set[int]) -> None:
+        """Dangling-reference cleanup: waits on children that lived on a
+        failed cell complete with an error status (the exit notification
+        will never come)."""
+        for pid, ev in list(self._remote_children.items()):
+            if self.registry.cell_of_pid(pid) in dead:
+                self._remote_child_status[pid] = -1
+                if not ev.triggered:
+                    ev.succeed(-1)
+
+    def _kill_dependent_processes(self, dead: Set[int]) -> int:
+        """Kill processes whose irreplaceable state lived on a dead cell.
+
+        Processes that merely *read files* served by a dead cell are kept
+        (they get I/O errors later, per the generation-number design);
+        processes whose anonymous memory ancestry or spanning task touched
+        the dead cell cannot make progress and are killed.
+        """
+        killed = 0
+        for proc in list(self.processes.values()):
+            if proc.exited:
+                continue
+            reason = None
+            if proc.task_id is not None:
+                task = self.registry.task(proc.task_id)
+                if task is not None and (task.dead
+                                         or set(task.cells()) & dead):
+                    reason = "spanning task lost a cell"
+            if reason is None and self._cow_ancestry_touches(proc, dead):
+                reason = "anonymous memory lost with failed cell"
+            if reason is None:
+                mapped = proc.aspace.ptes.get(self.kernel_id, {})
+                for pte in mapped.values():
+                    pf = pte.pfdat
+                    if pf is not None and pf.logical_id in self.poisoned_anon:
+                        reason = "mapped page was discarded"
+                        break
+            if reason:
+                proc.post_signal(SIGKILL)
+                killed += 1
+        return killed
+
+    def _cow_ancestry_touches(self, proc, dead: Set[int]) -> bool:
+        leaf = self._resolve_local_cow(proc.cow_leaf_addr)
+        if leaf is None:
+            return False
+        node = leaf
+        hops = 0
+        while node is not None and hops < 10_000:
+            if node.parent_addr == 0:
+                return False
+            if node.parent_cell != self.kernel_id:
+                return node.parent_cell in dead
+            resolved = self.heap.resolve(node.parent_addr)
+            if resolved is None or resolved[0] != "cownode":
+                return False
+            node = resolved[1]
+            hops += 1
+        return False

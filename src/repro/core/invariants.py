@@ -1,0 +1,130 @@
+"""System-wide consistency invariants, checkable at any quiescent point.
+
+These encode the correctness conditions the paper's mechanisms maintain;
+the property-based tests drive random fault/workload sequences and assert
+them after every recovery round:
+
+* **frame ownership**: every frame a kernel owns is in exactly one
+  state — free, cached/mapped (hashed or referenced), or loaned out;
+* **no dangling intercell references**: no pfdat imports from or exports
+  to a dead cell; no frames loaned to dead cells;
+* **firewall consistency**: a cell's record of who can write its pages
+  agrees with the hardware firewall vectors;
+* **heap accounting**: live kernel objects equal allocations minus frees;
+* **membership**: live cells agree with ground truth (no live cell marked
+  dead, no dead cell serving RPCs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def check_cell(cell) -> List[str]:
+    """All single-cell invariants; returns a list of violations."""
+    problems: List[str] = []
+    if not cell.alive:
+        return problems
+    problems += _check_frame_states(cell)
+    problems += _check_firewall_agreement(cell)
+    if cell.heap.live_objects != cell.heap.allocs - cell.heap.frees:
+        problems.append(
+            f"cell {cell.kernel_id}: heap accounting mismatch "
+            f"({cell.heap.live_objects} live, "
+            f"{cell.heap.allocs}-{cell.heap.frees})")
+    return problems
+
+
+def _check_frame_states(cell) -> List[str]:
+    problems: List[str] = []
+    table = cell.pfdats
+    free = set()
+    probe = list(table._free)
+    for frame in probe:
+        if frame in free:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {frame} on free list twice")
+        free.add(frame)
+    for frame in table.owned_frames:
+        pf = table.by_frame(frame)
+        on_free = frame in free and (pf is None or pf.on_free_list)
+        reserved = frame in table.reserved
+        hashed = pf is not None and pf.logical_id is not None
+        states = sum((on_free, reserved))
+        if on_free and reserved:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {frame} free AND reserved")
+        if on_free and hashed and not pf.on_free_list:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {frame} free AND hashed")
+        if pf is not None and pf.refcount < 0:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {frame} refcount "
+                f"{pf.refcount}")
+    return problems
+
+
+def _check_firewall_agreement(cell) -> List[str]:
+    """The OS export records must match the hardware firewall."""
+    problems: List[str] = []
+    params = cell.machine.params
+    for pf in cell.pfdats.all_pfdats():
+        if pf.extended:
+            continue
+        node = params.node_of_frame(pf.frame)
+        if node not in cell.node_ids:
+            continue
+        fw = cell.machine.memory.firewalls[node]
+        for grantee in pf.export_writable:
+            grantee_cpu = (cell.registry.nodes_of(grantee)[0]
+                           * params.cpus_per_node)
+            if not fw.allows(pf.frame, grantee_cpu):
+                problems.append(
+                    f"cell {cell.kernel_id}: pfdat says cell {grantee} "
+                    f"can write frame {pf.frame}, firewall disagrees")
+    return problems
+
+
+def check_no_dead_references(cell, dead_cells) -> List[str]:
+    """After recovery: nothing may still reference a dead cell."""
+    problems: List[str] = []
+    if not cell.alive:
+        return problems
+    dead = set(dead_cells)
+    for pf in cell.pfdats.all_pfdats():
+        if pf.imported_from in dead:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {pf.frame} still imported "
+                f"from dead cell {pf.imported_from}")
+        if pf.borrowed_from in dead:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {pf.frame} still borrowed "
+                f"from dead cell {pf.borrowed_from}")
+        if pf.export_writable & dead:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {pf.frame} still writable "
+                f"by dead cells {pf.export_writable & dead}")
+    for pf in cell.pfdats.reserved.values():
+        if pf.loaned_to in dead:
+            problems.append(
+                f"cell {cell.kernel_id}: frame {pf.frame} still loaned "
+                f"to dead cell {pf.loaned_to}")
+    return problems
+
+
+def check_system(system) -> List[str]:
+    """All invariants across a HiveSystem."""
+    problems: List[str] = []
+    registry = system.registry
+    dead = [c for c in registry.all_cell_ids() if not registry.is_live(c)]
+    for cell_id in registry.all_cell_ids():
+        cell = registry.cell_object(cell_id)
+        if cell is None:
+            continue
+        if registry.is_live(cell_id) != cell.alive:
+            problems.append(
+                f"membership mismatch for cell {cell_id}: registry says "
+                f"{registry.is_live(cell_id)}, cell says {cell.alive}")
+        problems += check_cell(cell)
+        problems += check_no_dead_references(cell, dead)
+    return problems

@@ -1,0 +1,357 @@
+"""Intercell RPC on SIPS (Section 6 of the paper).
+
+Two service classes:
+
+* **Interrupt-level RPCs** are serviced entirely in the message-arrival
+  interrupt handler — no server process, no blocking locks.  The minimum
+  end-to-end null RPC is 7.2 us; the client *spins* for the reply and only
+  context-switches after 50 us, "which almost never occurs".
+* **Queued RPCs** are handed to a server-process pool for requests that
+  may block (disk I/O, lock acquisition).  A queued request is "an initial
+  interrupt-level RPC which launches the operation, then a completion RPC
+  sent from the server back to the client".  Minimum null latency 34 us,
+  "in practice ... much higher because of scheduling delays".
+
+Hive structures common services as "initial best-effort interrupt-level
+service routines that fall back to queued service routines only if
+required" — handlers here can return the sentinel :data:`MUST_QUEUE` from
+their interrupt-level attempt to trigger exactly that fallback.
+
+Marshalling costs follow Table 5.2: arguments beyond one cache line are
+sent *by reference* and charged copy + alloc/free time.  "Each cell
+sanity-checks all information received from other cells and sets timeouts
+whenever waiting for a reply": handlers receive plain dict payloads and
+validate them; the client raises :class:`RpcTimeout` — a failure hint —
+when no reply arrives in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.hardware.errors import BusError, SipsQueueFull
+from repro.hardware.sips import REPLY, REQUEST, SipsFabric, SipsMessage
+from repro.sim.engine import Interrupted, Simulator
+from repro.sim.resources import FifoStore
+from repro.sim.stats import MetricSet
+from repro.unix.costs import KernelCosts
+from repro.unix.errors import RpcTimeout
+
+#: sentinel: an interrupt-level handler could not complete without
+#: blocking; re-dispatch through the queued service path.
+MUST_QUEUE = object()
+
+#: handlers flagged interrupt-level must never yield blocking events; the
+#: queued class may.
+INTERRUPT_LEVEL = "interrupt"
+QUEUED = "queued"
+
+
+@dataclass
+class RpcError:
+    """A handler-raised error shipped back to the caller."""
+
+    errno: str
+    message: str
+
+
+@dataclass
+class _Pending:
+    op: str
+    event: Any
+    sent_at: int
+
+
+class RpcSubsystem:
+    """One cell's RPC engine (client and server sides)."""
+
+    def __init__(self, sim: Simulator, cell, sips: SipsFabric,
+                 costs: KernelCosts, num_servers: int = 4):
+        self.sim = sim
+        self.cell = cell
+        self.sips = sips
+        self.costs = costs
+        self.metrics = MetricSet(name=f"rpc{cell.kernel_id}")
+        self._handlers: Dict[str, tuple] = {}
+        self._pending: Dict[int, _Pending] = {}
+        self._next_call = cell.kernel_id * 1_000_000 + 1
+        self._queue = FifoStore(sim, name=f"rpc{cell.kernel_id}.queue")
+        self._servers = [
+            sim.process(self._server_loop(i),
+                        name=f"rpc{cell.kernel_id}.srv{i}")
+            for i in range(num_servers)
+        ]
+        for node in cell.node_ids:
+            sips.register_handler(node, self._on_message)
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, op: str, handler: Callable,
+                 service_class: str = INTERRUPT_LEVEL) -> None:
+        """Install ``handler(src_cell, args) -> generator`` for ``op``."""
+        if service_class not in (INTERRUPT_LEVEL, QUEUED):
+            raise ValueError(f"bad service class {service_class}")
+        self._handlers[op] = (handler, service_class)
+
+    # -- client side ---------------------------------------------------------
+
+    def call(self, dst_cell_id: int, op: str, args: Optional[dict] = None,
+             arg_bytes: int = 64, timeout_ns: Optional[int] = None) -> Generator:
+        """Coroutine: invoke ``op`` on another cell and await the reply.
+
+        Raises :class:`RpcTimeout` (a failure hint) if no reply arrives,
+        and re-raises handler errors as :class:`RpcRemoteError`.
+        """
+        if dst_cell_id == self.cell.kernel_id:
+            raise ValueError("RPC to self")
+        args = args or {}
+        dst_node = self.cell.registry.first_node_of(dst_cell_id)
+        call_id = self._next_call
+        self._next_call += 1
+        start = self.sim.now
+
+        # Stub execution + marshalling (Table 5.2 costs).
+        stub = self.costs.rpc_null_stub_ns
+        oversize = arg_bytes > self.sips.params.sips_payload
+        if oversize:
+            stub = self.costs.rpc_stub_ns
+            yield self.sim.timeout(self.costs.rpc_alloc_ns // 2
+                                   + self.costs.rpc_copy_ns // 2)
+        yield self.sim.timeout(stub // 2)
+
+        reply_ev = self.sim.event(f"rpc.{op}.{call_id}")
+        self._pending[call_id] = _Pending(op=op, event=reply_ev,
+                                          sent_at=self.sim.now)
+        payload = {"call": call_id, "op": op, "args": args,
+                   "src_cell": self.cell.kernel_id,
+                   "reply_node": self.cell.node_ids[0],
+                   "oversize": oversize}
+        src_cpu = self.cell.cpu_ids[0]
+        limit = timeout_ns if timeout_ns is not None else self.costs.rpc_timeout_ns
+        send_deadline = self.sim.now + limit
+        backoff = self.costs.rpc_null_stub_ns
+        while True:
+            try:
+                self.sips.send(src_cpu, dst_node, payload,
+                               min(arg_bytes, self.sips.params.sips_payload),
+                               kind=REQUEST)
+                break
+            except SipsQueueFull:
+                # Hardware flow control: the sender stalls and retries —
+                # a SIPS is never dropped.  Only a peer that stays
+                # unreceptive past the failure timeout becomes a hint.
+                if self.sim.now >= send_deadline:
+                    self._pending.pop(call_id, None)
+                    self.metrics.counter("timeouts").add()
+                    self.cell.failure_hint(
+                        dst_cell_id, f"RPC {op} flow-controlled past "
+                        "timeout")
+                    raise RpcTimeout(dst_cell_id, op)
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2, 100_000)
+            except BusError as exc:
+                self._pending.pop(call_id, None)
+                # Only hint about the *destination* — a bus error caused
+                # by our own node failing is not evidence against anyone
+                # else (a dying cell must not spray accusations).
+                if exc.node is None or exc.node not in self.cell.node_ids:
+                    self.cell.failure_hint(dst_cell_id,
+                                           f"bus error on RPC {op}")
+                raise RpcTimeout(dst_cell_id, op)
+
+        deadline = self.sim.timeout(limit)
+        winner = yield self.sim.any_of([reply_ev, deadline])
+        if winner is deadline:
+            self._pending.pop(call_id, None)
+            self.metrics.counter("timeouts").add()
+            self.cell.failure_hint(dst_cell_id, f"RPC {op} timed out")
+            raise RpcTimeout(dst_cell_id, op)
+
+        result = reply_ev.value
+        # Client-side reply processing: the reply-arrival interrupt, spin
+        # vs context switch, then the unmarshalling half of the stubs.
+        waited = self.sim.now - start
+        yield self.sim.timeout(self.costs.rpc_interrupt_dispatch_ns)
+        if waited > self.costs.rpc_spin_timeout_ns:
+            yield self.sim.timeout(self.costs.context_switch_ns)
+            self.metrics.counter("spin_timeouts").add()
+        yield self.sim.timeout(stub // 2)
+        if oversize:
+            yield self.sim.timeout(self.costs.rpc_alloc_ns // 2
+                                   + self.costs.rpc_copy_ns // 2)
+        self.metrics.counter("calls").add()
+        self.metrics.timer("latency").record(self.sim.now - start)
+        if isinstance(result, RpcError):
+            raise RpcRemoteError(dst_cell_id, op, result)
+        return result
+
+    # -- server side -----------------------------------------------------------
+
+    def _on_message(self, msg: SipsMessage) -> None:
+        """Message-arrival interrupt handler."""
+        if not self.cell.alive:
+            return
+        payload = msg.payload
+        if isinstance(payload, dict) and payload.get("channel") == "user-msg":
+            # User-level messaging (Section 6): the kernel only demuxes
+            # to the destination port; everything else is library code.
+            usermsg = getattr(self.cell, "usermsg", None)
+            if usermsg is not None:
+                usermsg.deliver(payload)
+                self.cell.note_cpu_steal(
+                    self.costs.rpc_interrupt_dispatch_ns // 2)
+            return
+        if msg.kind == REPLY:
+            self._complete(msg)
+            return
+        self.sim.process(self._service(msg),
+                         name=f"rpc{self.cell.kernel_id}.int")
+
+    def _complete(self, msg: SipsMessage) -> None:
+        call_id = msg.payload.get("call")
+        pending = self._pending.pop(call_id, None)
+        if pending is None:
+            return  # late reply after timeout; drop
+        if not pending.event.triggered:
+            pending.event.succeed(msg.payload.get("result"))
+
+    def _service(self, msg: SipsMessage) -> Generator:
+        """Interrupt-level service attempt (falls back to the queue)."""
+        service_start = self.sim.now
+        yield self.sim.timeout(self.costs.rpc_interrupt_dispatch_ns)
+        payload = msg.payload
+        op = payload.get("op")
+        entry = self._handlers.get(op)
+        if entry is None:
+            self._reply(payload, RpcError("EOPNOTSUPP", f"no handler {op}"))
+            return
+        handler, service_class = entry
+        if service_class == QUEUED:
+            self.metrics.counter("queued").add()
+            self.cell.note_cpu_steal(self.sim.now - service_start)
+            yield self._queue.put(payload)
+            return
+        result = yield from self._run_handler(handler, payload)
+        self.cell.note_cpu_steal(self.sim.now - service_start)
+        if result is MUST_QUEUE:
+            # Best-effort interrupt service hit a synchronization
+            # condition; requeue for a server process (Section 6).
+            self.metrics.counter("queued_fallback").add()
+            yield self._queue.put(payload)
+            return
+        self.metrics.counter("served_interrupt").add()
+        self._reply(payload, result)
+
+    def _server_loop(self, idx: int) -> Generator:
+        """A server process: takes queued requests, runs, replies."""
+        try:
+            yield from self._server_body(idx)
+        except Interrupted:
+            return
+
+    def _server_body(self, idx: int) -> Generator:
+        while True:
+            payload = yield self._queue.get()
+            if not self.cell.alive:
+                return
+            # Wakeup + synchronization overhead of the queued path.
+            service_start = self.sim.now
+            yield self.sim.timeout(self.costs.rpc_queue_extra_ns)
+            entry = self._handlers.get(payload.get("op"))
+            if entry is None:
+                self._reply(payload,
+                            RpcError("EOPNOTSUPP", "no handler"))
+                continue
+            handler, _cls = entry
+            result = yield from self._run_handler(handler, payload,
+                                                  queued=True)
+            if result is MUST_QUEUE:
+                result = RpcError("EDEADLK", "queued handler queued again")
+            self.metrics.counter("served_queued").add()
+            # Server processes run on this cell's CPUs: their service
+            # time is stolen from user computation.  Time blocked on
+            # disk is not CPU time, so the steal is capped at the
+            # non-blocking service budget.
+            self.cell.note_cpu_steal(
+                min(self.sim.now - service_start, 200_000))
+            self._reply(payload, result)
+
+    def _run_handler(self, handler: Callable, payload: dict,
+                     queued: bool = False) -> Generator:
+        try:
+            result = yield from handler(payload.get("src_cell"),
+                                        payload.get("args") or {})
+            return result
+        except RpcHandlerError as exc:
+            return RpcError(exc.errno, str(exc))
+        except BusError as exc:
+            return RpcError("EIO", f"bus error in handler: {exc}")
+
+    def _reply(self, request_payload: dict, result: Any) -> None:
+        if not self.cell.alive:
+            return
+        reply = {"call": request_payload.get("call"), "result": result}
+        src_cpu = self.cell.cpu_ids[0]
+        oversize = request_payload.get("oversize", False)
+        size = 64 if not oversize else 128
+        dst = request_payload["reply_node"]
+        try:
+            self.sips.send(src_cpu, dst, reply, size, kind=REPLY)
+        except SipsQueueFull:
+            # Hardware flow control: stall-and-retry in the background
+            # until the reply queue drains (a SIPS is never dropped).
+            self.sim.process(self._retry_reply(dst, reply, size),
+                             name=f"rpc{self.cell.kernel_id}.replyretry")
+        except BusError:
+            # The caller's node died; its timeout machinery handles it.
+            self.metrics.counter("reply_failures").add()
+
+    def _retry_reply(self, dst: int, reply: dict, size: int) -> Generator:
+        backoff = self.costs.rpc_null_stub_ns
+        deadline = self.sim.now + self.costs.rpc_timeout_ns
+        src_cpu = self.cell.cpu_ids[0]
+        while self.cell.alive and self.sim.now < deadline:
+            yield self.sim.timeout(backoff)
+            backoff = min(backoff * 2, 100_000)
+            try:
+                self.sips.send(src_cpu, dst, reply, size, kind=REPLY)
+                return
+            except SipsQueueFull:
+                continue
+            except BusError:
+                break
+        self.metrics.counter("reply_failures").add()
+
+    # -- teardown -------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for srv in self._servers:
+            if srv.is_alive:
+                srv.interrupt("rpc shutdown")
+        for node in self.cell.node_ids:
+            self.sips.unregister_handler(node)
+        for pending in self._pending.values():
+            if not pending.event.triggered:
+                pending.event.fail(
+                    RpcTimeout(self.cell.kernel_id, pending.op))
+        self._pending.clear()
+
+
+class RpcHandlerError(Exception):
+    """Raised inside a handler to return an errno to the caller."""
+
+    def __init__(self, errno: str, message: str = ""):
+        super().__init__(message or errno)
+        self.errno = errno
+
+
+class RpcRemoteError(Exception):
+    """The remote handler reported an error."""
+
+    def __init__(self, cell_id: int, op: str, error: RpcError):
+        super().__init__(f"RPC {op} to cell {cell_id}: "
+                         f"[{error.errno}] {error.message}")
+        self.cell_id = cell_id
+        self.op = op
+        self.errno = error.errno

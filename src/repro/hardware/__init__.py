@@ -1,0 +1,44 @@
+"""Model of the Stanford FLASH multiprocessor (substrate for Hive).
+
+FLASH (Kuskin et al., ISCA 1994) is a CC-NUMA machine: nodes each hold a
+processor with two-level caches, a slice of main memory, local I/O devices,
+and a coherence controller (MAGIC), connected by a mesh network.  Hive's
+reliance on the hardware is narrow and explicit — the *memory fault model* —
+and that is exactly what this package implements:
+
+* per-page **firewall** write-permission bit-vectors checked by the
+  coherence controller on ownership requests and writebacks
+  (:mod:`repro.hardware.firewall`);
+* **bus errors** instead of hangs when accessing failed nodes or firewall-
+  protected pages (:mod:`repro.hardware.memory`);
+* the **SIPS** low-latency message-send primitive
+  (:mod:`repro.hardware.sips`);
+* a **memory cutoff** that a panicking cell uses to stop exporting
+  potentially corrupt data, and a **remap region** giving each cell private
+  trap vectors (:mod:`repro.hardware.node`, Table 8.1 of the paper);
+* **fail-stop fault injection** at node granularity
+  (:mod:`repro.hardware.faults`).
+
+Latency constants follow Section 7.2 of the paper (200 MHz R4000-class
+CPUs, 50 ns second-level hit, 700 ns remote miss, 700 ns IPI, SIPS =
+IPI + 300 ns, HP 97560 disks).
+"""
+
+from repro.hardware.errors import (
+    BusError,
+    FirewallViolation,
+    HardwareError,
+    SipsQueueFull,
+)
+from repro.hardware.machine import Machine, MachineConfig
+from repro.hardware.params import HardwareParams
+
+__all__ = [
+    "BusError",
+    "FirewallViolation",
+    "HardwareError",
+    "HardwareParams",
+    "Machine",
+    "MachineConfig",
+    "SipsQueueFull",
+]

@@ -1,0 +1,208 @@
+"""Directory-based cache coherence with firewall permission checks.
+
+Each node's coherence controller (MAGIC, in FLASH) keeps directory state
+for the memory homed on the node and checks the firewall "on each request
+for cache line ownership (read misses do not count as ownership requests)
+and on most cache line writebacks" (Section 4.2).
+
+The model tracks per-line sharing state sparsely, only for lines the
+simulation actually touches, using a simplified MESI protocol:
+
+* a line is either *unowned* (memory holds the only copy), *shared* by a
+  set of CPUs, or *owned exclusively* (dirty) by one CPU;
+* a read by a CPU that already caches the line is a cache hit (one cycle);
+  any other read is a miss costing the 700 ns FLASH average (fetching from
+  a dirty remote owner also downgrades the owner to shared);
+* a write by the exclusive owner is a hit; any other write is an ownership
+  request: the firewall is checked at the line's home, sharers are
+  invalidated, and the full miss latency is charged — plus the firewall
+  check latency when the check is enabled.
+
+Capacity and conflict evictions are not modelled at line granularity;
+workload-level cache behaviour enters through per-workload miss-rate
+parameters (:mod:`repro.workloads`).  Line-level state exists to make the
+microbenchmarks honest: the careful-reference clock read really does miss
+every tick because the remote cell really did write the line.
+
+On a node failure the directory tells us exactly which lines' only
+up-to-date copy was cached on the failed node — the set the memory fault
+model says may be lost.  The fault model also guarantees this set only
+contains lines the failed node was *authorized to write* (firewall), which
+a property test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.memory import PhysicalMemory
+from repro.hardware.params import HardwareParams
+
+
+@dataclass
+class LineState:
+    """Directory entry for one 128-byte line."""
+
+    owner: Optional[int] = None      # CPU holding the line dirty/exclusive
+    sharers: Set[int] = field(default_factory=set)
+
+    def cached_by(self, cpu: int) -> bool:
+        return cpu == self.owner or cpu in self.sharers
+
+
+@dataclass
+class CoherenceStats:
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    remote_write_misses: int = 0
+    remote_write_miss_ns_total: int = 0
+    invalidations: int = 0
+    firewall_checks: int = 0
+
+    @property
+    def avg_remote_write_miss_ns(self) -> float:
+        if not self.remote_write_misses:
+            return 0.0
+        return self.remote_write_miss_ns_total / self.remote_write_misses
+
+
+class CoherenceController:
+    """The machine-wide coherence fabric (one logical controller).
+
+    Physically each node has its own controller; because directory state
+    is keyed by line and firewalls are per-node objects, one fabric object
+    with per-home-node routing is behaviourally identical and simpler.
+    """
+
+    def __init__(self, params: HardwareParams, memory: PhysicalMemory,
+                 interconnect: Interconnect):
+        self.params = params
+        self.memory = memory
+        self.interconnect = interconnect
+        self._lines: Dict[int, LineState] = {}
+        self.stats = CoherenceStats()
+
+    # -- helpers ------------------------------------------------------
+
+    def _line_of(self, addr: int) -> int:
+        return addr // self.params.cache_line_size
+
+    def _node_of_cpu(self, cpu: int) -> int:
+        return cpu // self.params.cpus_per_node
+
+    def _state(self, line: int) -> LineState:
+        st = self._lines.get(line)
+        if st is None:
+            st = LineState()
+            self._lines[line] = st
+        return st
+
+    def _hit_ns(self) -> int:
+        return self.params.cycles(1)
+
+    # -- the access protocol --------------------------------------------
+
+    def read(self, cpu: int, addr: int) -> int:
+        """Read one line; returns the access latency in ns.
+
+        Raises :class:`BusError` if the home node has failed or is cut off
+        (delegated to the memory fault model).
+        """
+        frame = self.params.frame_of_addr(addr)
+        # Touch the fault model: a read of failed memory bus-errors.
+        self.memory._check_readable(frame, cpu)
+        line = self._line_of(addr)
+        st = self._state(line)
+        if st.cached_by(cpu):
+            self.stats.read_hits += 1
+            return self._hit_ns()
+        self.stats.read_misses += 1
+        src_node = self._node_of_cpu(cpu)
+        home_node = self.params.node_of_addr(addr)
+        latency = self.interconnect.miss_latency_ns(src_node, home_node)
+        if st.owner is not None and st.owner != cpu:
+            # Dirty remote intervention: owner is downgraded to shared.
+            # A writeback from the owner's cache passes a firewall check
+            # ("and on most cache line writebacks", Section 4.2).
+            if self.memory.firewall_enabled:
+                self.stats.firewall_checks += 1
+            st.sharers.add(st.owner)
+            st.owner = None
+        st.sharers.add(cpu)
+        return latency
+
+    def write(self, cpu: int, addr: int) -> int:
+        """Gain ownership of one line; returns the access latency in ns.
+
+        Performs the firewall permission check that FLASH does on each
+        ownership request; a rejected write raises
+        :class:`~repro.hardware.errors.FirewallViolation`.
+        """
+        frame = self.params.frame_of_addr(addr)
+        line = self._line_of(addr)
+        st = self._state(line)
+        if st.owner == cpu:
+            self.stats.write_hits += 1
+            return self._hit_ns()
+        # Ownership request: fault-model checks (failure + firewall).
+        self.memory._check_writable(frame, cpu)
+        self.stats.write_misses += 1
+        src_node = self._node_of_cpu(cpu)
+        home_node = self.params.node_of_addr(addr)
+        latency = self.interconnect.miss_latency_ns(src_node, home_node)
+        if self.memory.firewall_enabled:
+            self.stats.firewall_checks += 1
+            latency += self.params.firewall_check_ns
+        if src_node != home_node:
+            self.stats.remote_write_misses += 1
+            self.stats.remote_write_miss_ns_total += latency
+        invalidated = {c for c in st.sharers if c != cpu}
+        if st.owner is not None and st.owner != cpu:
+            invalidated.add(st.owner)
+        self.stats.invalidations += len(invalidated)
+        st.sharers.clear()
+        st.owner = cpu
+        return latency
+
+    # -- failure interaction -----------------------------------------------
+
+    def frames_with_dirty_lines_owned_by_node(self, node: int) -> Set[int]:
+        """Frames whose only up-to-date copy sits in ``node``'s caches.
+
+        These are the lines the memory fault model declares lost when the
+        node fails.  By construction (the firewall is checked on every
+        ownership request) every such frame was writable by the node.
+        """
+        lo = node * self.params.cpus_per_node
+        hi = lo + self.params.cpus_per_node
+        frames: Set[int] = set()
+        bytes_per_line = self.params.cache_line_size
+        for line, st in self._lines.items():
+            if st.owner is not None and lo <= st.owner < hi:
+                frames.add((line * bytes_per_line) // self.params.page_size)
+        return frames
+
+    def drop_node_cache_state(self, node: int) -> None:
+        """Forget all cache state of a failed/rebooted node's CPUs."""
+        lo = node * self.params.cpus_per_node
+        hi = lo + self.params.cpus_per_node
+        for st in self._lines.values():
+            if st.owner is not None and lo <= st.owner < hi:
+                st.owner = None
+            st.sharers = {c for c in st.sharers if not lo <= c < hi}
+
+    def invalidate_frame(self, frame: int) -> None:
+        """Invalidate every cached line of a frame (used by discard)."""
+        page_size = self.params.page_size
+        line_size = self.params.cache_line_size
+        first = frame * page_size // line_size
+        for line in range(first, first + page_size // line_size):
+            st = self._lines.get(line)
+            if st is not None:
+                self.stats.invalidations += len(st.sharers)
+                st.owner = None
+                st.sharers.clear()

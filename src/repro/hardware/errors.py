@@ -1,0 +1,76 @@
+"""Hardware-level exception types (the memory fault model's error surface).
+
+The FLASH memory fault model guarantees that accesses to failed memory or
+firewall-protected pages terminate with a *bus error* rather than stalling
+the processor indefinitely.  In this reproduction a bus error is a Python
+exception raised synchronously at the access site; kernel code either
+captures it (inside a careful-reference section) or escalates it to a cell
+panic, mirroring Section 4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+
+class HardwareError(Exception):
+    """Base class for all simulated hardware errors."""
+
+
+class BusError(HardwareError):
+    """An access terminated with a bus error.
+
+    Raised when reading or writing the memory of a failed node, when a
+    write violates the firewall, when a node's memory cutoff is engaged,
+    or on uncached access to a remote cell's I/O devices.
+    """
+
+    def __init__(self, message: str, addr: int | None = None,
+                 node: int | None = None):
+        super().__init__(message)
+        self.addr = addr
+        self.node = node
+
+
+class FirewallViolation(BusError):
+    """A write was rejected by the firewall permission check.
+
+    Subclasses :class:`BusError` because that is how the hardware reports
+    it to the issuing processor (Section 4.2: "A write request to a page
+    for which the corresponding bit is not set fails with a bus error").
+    """
+
+    def __init__(self, frame: int, writer_cpu: int):
+        super().__init__(
+            f"firewall rejected write to frame {frame} by cpu {writer_cpu}",
+            addr=None,
+        )
+        self.frame = frame
+        self.writer_cpu = writer_cpu
+
+
+class SipsQueueFull(HardwareError):
+    """A SIPS send found the destination receive queue full.
+
+    The sender sees hardware flow control and must retry; the message is
+    never silently dropped.
+    """
+
+    def __init__(self, dst_node: int, kind: str):
+        super().__init__(f"SIPS {kind} queue full on node {dst_node}")
+        self.dst_node = dst_node
+        self.kind = kind
+
+
+class NodeHalted(HardwareError):
+    """An operation was attempted on a halted (fail-stopped) processor."""
+
+    def __init__(self, node: int):
+        super().__init__(f"node {node} is halted")
+        self.node = node
+
+
+class InvalidPhysicalAddress(HardwareError):
+    """An access referenced an address outside the physical address space."""
+
+    def __init__(self, addr: int):
+        super().__init__(f"invalid physical address {addr:#x}")
+        self.addr = addr

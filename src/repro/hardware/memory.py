@@ -1,0 +1,196 @@
+"""Physical memory: page-frame storage plus the memory fault model.
+
+The physical address space is the concatenation of the node memories
+(Figure 3.1 of the paper: "Each cell controls a portion of the global
+physical address space").  Frame numbers are global; frame ``f`` is homed
+on node ``f // pages_per_node``.
+
+Page contents are real bytes so the evaluation can do what the paper did:
+compare every file written by a workload against a reference copy after a
+fault-injection run to check for silent corruption.  Pages are stored
+sparsely; untouched frames read as zeros.
+
+The fault model (Section 2) is implemented here:
+
+* accesses to the memory of a **failed node** raise :class:`BusError`
+  rather than stalling forever;
+* writes are checked against the node's **firewall** and raise
+  :class:`FirewallViolation` (a bus error) when rejected;
+* a node whose **memory cutoff** is engaged refuses all remote accesses —
+  the cell panic path uses this to stop exporting potentially corrupt
+  data (Table 8.1);
+* only nodes *authorized by the firewall* can damage a line: on node
+  failure, the set of potentially lost data is bounded (the recovery code
+  relies on this to know what can be trusted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hardware.errors import (
+    BusError,
+    FirewallViolation,
+    InvalidPhysicalAddress,
+)
+from repro.hardware.firewall import NodeFirewall
+from repro.hardware.params import HardwareParams
+
+ZERO_PAGE = b"\x00" * 4096
+
+
+class PhysicalMemory:
+    """All of main memory, with per-node failure state and firewalls."""
+
+    def __init__(self, params: HardwareParams,
+                 firewall_factory=NodeFirewall,
+                 firewall_enabled: bool = True):
+        self.params = params
+        self.firewall_enabled = firewall_enabled
+        self.firewalls: List[NodeFirewall] = [
+            firewall_factory(params, node) for node in range(params.num_nodes)
+        ]
+        self._pages: Dict[int, bytes] = {}
+        self._failed_nodes: set[int] = set()
+        self._cutoff_nodes: set[int] = set()
+        if params.page_size != len(ZERO_PAGE):
+            self._zero = b"\x00" * params.page_size
+        else:
+            self._zero = ZERO_PAGE
+
+    # -- failure state -------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Fail-stop the memory of ``node`` (node halt or range failure)."""
+        self._failed_nodes.add(node)
+
+    def revive_node(self, node: int) -> None:
+        """Bring a node's memory back after diagnostics pass (reintegration).
+
+        The contents are cleared — the paper's recovery model treats the
+        failed node's data as lost — and the firewall resets to local-only.
+        """
+        self._failed_nodes.discard(node)
+        self._cutoff_nodes.discard(node)
+        self.firewalls[node].reset()
+        for frame in self.params.node_frame_range(node):
+            self._pages.pop(frame, None)
+
+    def node_failed(self, node: int) -> bool:
+        return node in self._failed_nodes
+
+    def engage_cutoff(self, node: int) -> None:
+        """Cut off all *remote* access to this node's memory (cell panic)."""
+        self._cutoff_nodes.add(node)
+
+    def cutoff_engaged(self, node: int) -> bool:
+        return node in self._cutoff_nodes
+
+    # -- access checks ---------------------------------------------------
+
+    def _home_node(self, frame: int) -> int:
+        if not 0 <= frame < self.params.total_pages:
+            raise InvalidPhysicalAddress(frame * self.params.page_size)
+        return self.params.node_of_frame(frame)
+
+    def _check_readable(self, frame: int, reader_cpu: Optional[int]) -> int:
+        home = self._home_node(frame)
+        if home in self._failed_nodes:
+            raise BusError(
+                f"read of frame {frame}: node {home} failed",
+                addr=frame * self.params.page_size, node=home,
+            )
+        if home in self._cutoff_nodes and reader_cpu is not None:
+            reader_node = reader_cpu // self.params.cpus_per_node
+            if reader_node != home:
+                raise BusError(
+                    f"read of frame {frame}: node {home} cutoff engaged",
+                    addr=frame * self.params.page_size, node=home,
+                )
+        return home
+
+    def _check_writable(self, frame: int, writer_cpu: Optional[int]) -> int:
+        home = self._check_readable(frame, writer_cpu)
+        if writer_cpu is not None:
+            writer_node = writer_cpu // self.params.cpus_per_node
+            if writer_node in self._failed_nodes:
+                raise BusError(
+                    f"write by cpu {writer_cpu}: its node has failed",
+                    node=writer_node,
+                )
+            if self.firewall_enabled:
+                self.firewalls[home].check_write(frame, writer_cpu)
+        return home
+
+    # -- data access -------------------------------------------------------
+    #
+    # ``cpu=None`` marks accesses by the simulation harness itself (e.g.
+    # the post-run file comparison) which bypass permission checks but not
+    # failure checks.
+
+    def read_page(self, frame: int, cpu: Optional[int] = None) -> bytes:
+        self._check_readable(frame, cpu)
+        return self._pages.get(frame, self._zero)
+
+    def write_page(self, frame: int, data: bytes, cpu: Optional[int] = None) -> None:
+        if len(data) != self.params.page_size:
+            raise ValueError(
+                f"page write must be exactly {self.params.page_size} bytes"
+            )
+        self._check_writable(frame, cpu)
+        if data == self._zero:
+            self._pages.pop(frame, None)
+        else:
+            self._pages[frame] = bytes(data)
+
+    def write_bytes(self, frame: int, offset: int, data: bytes,
+                    cpu: Optional[int] = None) -> None:
+        """Sub-page write (the granularity at which wild writes strike)."""
+        if offset < 0 or offset + len(data) > self.params.page_size:
+            raise ValueError("sub-page write out of bounds")
+        self._check_writable(frame, cpu)
+        page = bytearray(self._pages.get(frame, self._zero))
+        page[offset:offset + len(data)] = data
+        self._pages[frame] = bytes(page)
+
+    def read_bytes(self, frame: int, offset: int, length: int,
+                   cpu: Optional[int] = None) -> bytes:
+        if offset < 0 or offset + length > self.params.page_size:
+            raise ValueError("sub-page read out of bounds")
+        self._check_readable(frame, cpu)
+        return self._pages.get(frame, self._zero)[offset:offset + length]
+
+    def zero_page(self, frame: int, cpu: Optional[int] = None) -> None:
+        self._check_writable(frame, cpu)
+        self._pages.pop(frame, None)
+
+    # -- firewall convenience ----------------------------------------------
+
+    def firewall_for_frame(self, frame: int) -> NodeFirewall:
+        return self.firewalls[self._home_node(frame)]
+
+    def write_allowed(self, frame: int, cpu: int) -> bool:
+        """Would a write succeed?  (No latency, no side effects.)"""
+        home = self._home_node(frame)
+        if home in self._failed_nodes:
+            return False
+        if not self.firewall_enabled:
+            return True
+        return self.firewalls[home].allows(frame, cpu)
+
+    def frames_writable_by_node(self, writer_node: int) -> List[int]:
+        """All frames (on live nodes) writable by CPUs of ``writer_node``.
+
+        Used by tests and benchmarks to audit firewall state; the OS-level
+        preemptive discard does *not* use this global view — it must work
+        from each cell's own records (Section 4.2).
+        """
+        out: List[int] = []
+        cpu0 = writer_node * self.params.cpus_per_node
+        for node in range(self.params.num_nodes):
+            if node == writer_node or node in self._failed_nodes:
+                continue
+            for frame in self.firewalls[node].remote_writable_frames():
+                if self.firewalls[node].allows(frame, cpu0):
+                    out.append(frame)
+        return out

@@ -1,0 +1,362 @@
+"""Core discrete-event engine: simulator clock, events, and processes.
+
+Time is an integer number of nanoseconds.  The engine is a classic
+event-queue design: a binary heap of ``(time, sequence, callback)`` entries.
+Coroutine processes are Python generators that yield :class:`Event` objects
+and are resumed when those events trigger.
+
+Determinism guarantees
+----------------------
+* Events scheduled for the same instant fire in the order they were
+  scheduled (the heap is keyed by ``(time, seq)``).
+* Nothing in the engine consults wall-clock time or global randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (e.g. double-triggering an event)."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either successfully (with a
+    ``value``) or as a failure (with an exception that is re-raised inside
+    every waiting process).  Callbacks added after triggering fire
+    immediately at the current simulation time.
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_triggered", "_ok", "_value")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: Optional[list] = []
+        self._triggered = False
+        self._ok = True
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as a failure; ``exc`` is raised in waiters."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._trigger(ok=False, value=exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for cb in callbacks:
+            self.sim.schedule(0, cb, self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self._callbacks is None:
+            # Already triggered: deliver asynchronously at the current time
+            # so callers observe a consistent (always-deferred) ordering.
+            self.sim.schedule(0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self._callbacks is not None and cb in self._callbacks:
+            self._callbacks.remove(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim.schedule(delay, self._expire, value)
+
+    def _expire(self, value: Any) -> None:
+        if not self._triggered:
+            self.succeed(value)
+
+
+class AnyOf(Event):
+    """Triggers when the first of several events triggers.
+
+    The value is the event that won.  A failing child fails the AnyOf.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for ev in self._children:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed(ev)
+        else:
+            self.fail(ev._value)
+
+
+class AllOf(Event):
+    """Triggers when all of several events have triggered successfully."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            sim.schedule(0, lambda _ev=None: self.succeed([]))
+            return
+        for ev in self._children:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A coroutine process driven by the simulator.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    resumes (with the event's value) when each triggers.  The Process is
+    itself an Event that triggers with the generator's return value, so
+    processes can wait on each other (*join*).
+    """
+
+    __slots__ = ("gen", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list = []
+        sim.schedule(0, self._resume, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process.
+
+        If the process is waiting on an event, it stops waiting and the
+        interrupt is delivered at the current time.  Interrupting a dead
+        process is a no-op.
+        """
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupted(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            waiting.remove_callback(self._resume)
+            self._waiting_on = None
+            self.sim.schedule(0, self._deliver_interrupt)
+
+    def _deliver_interrupt(self, _ev: Any = None) -> None:
+        if self._triggered or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        self._step(lambda: self.gen.throw(exc))
+
+    def _resume(self, ev: Optional[Event]) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if self._interrupts:
+            # An interrupt raced with the event; the interrupt wins.
+            self.sim.schedule(0, self._deliver_interrupt)
+            return
+        if ev is None:
+            self._step(lambda: next(self.gen))
+        elif ev.ok:
+            self._step(lambda: self.gen.send(ev.value))
+        else:
+            self._step(lambda: self.gen.throw(ev._value))
+
+    def _step(self, advance: Callable[[], Event]) -> None:
+        self.sim._active_process, previous = self, self.sim._active_process
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted as exc:
+            # An interrupt the process chose not to catch terminates it;
+            # that is normal cancellation, never a simulation error.
+            self.fail(exc)
+            return
+        except Exception as exc:
+            if self.sim.crash_on_process_error:
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = previous
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop.  ``now`` is the current time in nanoseconds."""
+
+    def __init__(self, crash_on_process_error: bool = True):
+        self.now: int = 0
+        self._queue: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: If True (the default), an uncaught exception inside a process
+        #: aborts the whole simulation run.  Fault-injection experiments
+        #: set this False so a crashing cell fails only its own processes.
+        self.crash_on_process_error = crash_on_process_error
+
+    # -- scheduling ---------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + int(delay), self._seq, fn, args))
+
+    def run(self, until: Optional[int] = None, max_events: int = 200_000_000) -> None:
+        """Process events until the queue drains or ``until`` is reached."""
+        processed = 0
+        while self._queue:
+            t, _seq, fn, args = self._queue[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = t
+            fn(*args)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event budget exhausted; likely livelock")
+        if until is not None:
+            self.now = until
+
+    def run_until_event(self, event: "Event",
+                        deadline: Optional[int] = None,
+                        max_events: int = 200_000_000) -> bool:
+        """Process events until ``event`` triggers; returns True if it did.
+
+        Unlike :meth:`run`, this stops as soon as the condition is met,
+        which matters when perpetual background processes (clock ticks,
+        monitors) would otherwise keep the queue busy to the deadline.
+        """
+        processed = 0
+        while self._queue and not event.triggered:
+            t, _seq, fn, args = self._queue[0]
+            if deadline is not None and t > deadline:
+                self.now = deadline
+                return event.triggered
+            heapq.heappop(self._queue)
+            self.now = t
+            fn(*args)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event budget exhausted; likely livelock")
+        return event.triggered
+
+    def run_until_complete(self, proc: "Process", deadline: Optional[int] = None) -> Any:
+        """Run until ``proc`` finishes, returning its value (raising on failure)."""
+        self.run(until=deadline)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by deadline "
+                f"{deadline} (now={self.now})"
+            )
+        if not proc.ok:
+            raise proc._value
+        return proc.value
+
+    # -- factories ----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process

@@ -1,0 +1,228 @@
+"""Synchronization and queuing primitives built on the event engine.
+
+These model the kernel-level and hardware-level contention points in the
+reproduction: kernel locks (:class:`Mutex`), bounded hardware queues such as
+the SIPS receive queues (:class:`FifoStore`), multi-unit resources such as
+the RPC server-process pool (:class:`Resource`), and counting semaphores.
+
+All primitives hand out grants in strict FIFO order, which keeps the whole
+simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Mutex:
+    """A FIFO mutual-exclusion lock.
+
+    Usage inside a process::
+
+        yield lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+        #: number of acquisitions that had to wait (contention metric)
+        self.contended_acquires = 0
+        self.total_acquires = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(f"{self.name}.acquire")
+        self.total_acquires += 1
+        if not self._locked:
+            self._locked = True
+            ev.succeed(self)
+        else:
+            self.contended_acquires += 1
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        self.total_acquires += 1
+        return True
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unlocked {self.name}")
+        if self._waiters:
+            ev = self._waiters.popleft()
+            ev.succeed(self)
+        else:
+            self._locked = False
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, sim: Simulator, value: int = 0, name: str = "sem"):
+        if value < 0:
+            raise SimulationError("semaphore initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def down(self) -> Event:
+        ev = self.sim.event(f"{self.name}.down")
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def up(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Resource:
+    """A pool of ``capacity`` identical units (CPUs of a cell, disk arms).
+
+    ``request()`` yields an event granting one unit; ``release()`` returns
+    it.  FIFO granting.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        ev = self.sim.event(f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle {self.name}")
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class FifoStore:
+    """A bounded FIFO queue of items with blocking get/put.
+
+    Models hardware receive queues (SIPS request/reply queues) and kernel
+    work queues (queued-RPC service queue).  ``put`` on a full store fails
+    immediately with :class:`StoreFull` if ``block_on_full`` is False,
+    matching hardware flow-control semantics where the sender must retry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+        block_on_full: bool = True,
+    ):
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.block_on_full = block_on_full
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+        self.total_puts = 0
+        self.rejected_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (and drops nothing) when full."""
+        if self.is_full:
+            self.rejected_puts += 1
+            return False
+        self._deliver(item)
+        return True
+
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event(f"{self.name}.put")
+        if self.is_full:
+            if not self.block_on_full:
+                self.rejected_puts += 1
+                ev.fail(StoreFull(self.name))
+            else:
+                self._putters.append((ev, item))
+        else:
+            self._deliver(item)
+            ev.succeed()
+        return ev
+
+    def _deliver(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event(f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters and not self.is_full:
+                put_ev, item = self._putters.popleft()
+                self._deliver(item)
+                put_ev.succeed()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def drain(self) -> list:
+        """Remove and return all queued items (used by reboot paths)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class StoreFull(Exception):
+    """Raised by a non-blocking :class:`FifoStore` put when at capacity."""

@@ -1,0 +1,172 @@
+"""Measurement primitives: counters, latency timers, histograms, samplers.
+
+The paper reports averages, maxima, component breakdowns (Table 5.2), and
+periodically-sampled quantities (remotely-writable page counts sampled every
+20 ms, Section 4.2).  These classes provide exactly those aggregations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Timer:
+    """Accumulates durations (ns) and reports count/total/mean/min/max."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str = "timer"):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, duration: int) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} in {self.name}")
+        self.count += 1
+        self.total += duration
+        if self.min is None or duration < self.min:
+            self.min = duration
+        if self.max is None or duration > self.max:
+            self.max = duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Timer {self.name} n={self.count} mean={self.mean:.1f}ns "
+            f"min={self.min} max={self.max}>"
+        )
+
+
+class Histogram:
+    """Fixed-bucket histogram of durations, for latency distributions."""
+
+    def __init__(self, name: str, bucket_bounds: List[int]):
+        if sorted(bucket_bounds) != list(bucket_bounds):
+            raise ValueError("bucket bounds must be sorted")
+        self.name = name
+        self.bounds = list(bucket_bounds)
+        self.counts = [0] * (len(bucket_bounds) + 1)
+
+    def record(self, value: int) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+class Sampler:
+    """Records (time, value) samples of a quantity; reports avg and max.
+
+    Used for the Section 4.2 experiment that samples the number of
+    remotely-writable pages per cell every 20 ms.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str = "sampler"):
+        self.name = name
+        self.samples: List[tuple] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        self.samples.append((time_ns, value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(v for _, v in self.samples) / len(self.samples)
+
+    @property
+    def max(self) -> float:
+        if not self.samples:
+            return 0.0
+        return max(v for _, v in self.samples)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+
+@dataclass
+class MetricSet:
+    """A named registry of metrics, one per cell or per subsystem."""
+
+    name: str = "metrics"
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    timers: Dict[str, Timer] = field(default_factory=dict)
+    samplers: Dict[str, Sampler] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self.counters[name] = c
+        return c
+
+    def timer(self, name: str) -> Timer:
+        t = self.timers.get(name)
+        if t is None:
+            t = Timer(name)
+            self.timers[name] = t
+        return t
+
+    def sampler(self, name: str) -> Sampler:
+        s = self.samplers.get(name)
+        if s is None:
+            s = Sampler(name)
+            self.samplers[name] = s
+        return s
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all current metric values, for report printing."""
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[f"{name}.count"] = c.value
+        for name, t in self.timers.items():
+            out[f"{name}.n"] = t.count
+            out[f"{name}.mean_ns"] = t.mean
+            out[f"{name}.total_ns"] = t.total
+        for name, s in self.samplers.items():
+            out[f"{name}.mean"] = s.mean
+            out[f"{name}.max"] = s.max
+        return out

@@ -1,0 +1,157 @@
+"""Event tracing: a SimOS-style timeline of what the system did.
+
+The paper credits SimOS's deterministic replay for making the fault-
+containment work debuggable ("makes it straightforward to analyze the
+complex series of events that follow after a software fault").  This
+module provides the equivalent observability: subsystems emit typed
+events into a :class:`TraceLog`, which can be filtered and rendered as a
+timeline.
+
+Tracing is opt-in (a null default keeps the hot paths free of overhead)
+and deterministic like everything else in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: well-known categories used by the built-in instrumentation
+CAT_FAULT = "fault"          # hardware fault injections
+CAT_DETECT = "detect"        # failure hints
+CAT_AGREE = "agree"          # agreement rounds
+CAT_RECOVER = "recover"      # recovery phases
+CAT_SHARING = "sharing"      # export/import/borrow traffic
+CAT_PROC = "proc"            # process lifecycle
+
+
+@dataclass
+class TraceEvent:
+    time_ns: int
+    category: str
+    cell: Optional[int]
+    message: str
+
+    def render(self) -> str:
+        where = f"cell {self.cell}" if self.cell is not None else "system"
+        return (f"[{self.time_ns / 1e6:12.3f} ms] {self.category:>8} "
+                f"{where:>8}: {self.message}")
+
+
+class TraceLog:
+    """An append-only, filterable event log."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 capacity: int = 100_000):
+        self.enabled_categories = (set(categories)
+                                   if categories is not None else None)
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        return (self.enabled_categories is None
+                or category in self.enabled_categories)
+
+    def emit(self, time_ns: int, category: str, cell: Optional[int],
+             message: str) -> None:
+        if not self.wants(category):
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time_ns, category, cell, message))
+
+    # -- querying -------------------------------------------------------
+
+    def select(self, category: Optional[str] = None,
+               cell: Optional[int] = None,
+               since_ns: int = 0) -> List[TraceEvent]:
+        return [ev for ev in self.events
+                if (category is None or ev.category == category)
+                and (cell is None or ev.cell == cell)
+                and ev.time_ns >= since_ns]
+
+    def render(self, **kwargs) -> str:
+        return "\n".join(ev.render() for ev in self.select(**kwargs))
+
+    def counts_by_category(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.category] = out.get(ev.category, 0) + 1
+        return out
+
+
+class NullTrace:
+    """No-op trace used by default (zero overhead on hot paths)."""
+
+    def wants(self, category: str) -> bool:
+        return False
+
+    def emit(self, *args, **kwargs) -> None:
+        pass
+
+
+NULL_TRACE = NullTrace()
+
+
+def attach_tracing(system, categories: Optional[Iterable[str]] = None
+                   ) -> TraceLog:
+    """Instrument a booted HiveSystem with a trace log.
+
+    Hooks the fault injector, failure detectors, recovery coordinator,
+    and process lifecycle.  Returns the log; call again for a fresh one.
+    """
+    log = TraceLog(categories)
+    sim = system.sim
+
+    def on_injection(record) -> None:
+        log.emit(record.time_ns, CAT_FAULT, record.node_id,
+                 f"injected {record.kind} (trigger={record.trigger})")
+
+    system.injector.observers.append(on_injection)
+
+    def on_recovery(record) -> None:
+        log.emit(record.recovery_done_ns, CAT_RECOVER, None,
+                 f"round {record.round_id} done: dead="
+                 f"{sorted(record.dead_cells)}, "
+                 f"{record.discarded_pages} pages discarded, "
+                 f"{record.files_lost} files lost, "
+                 f"{record.killed_processes} processes killed")
+
+    system.coordinator.observers.append(on_recovery)
+
+    # Wrap each live cell's hint path.
+    for cell in system.cells:
+        _wrap_cell(cell, log, sim)
+    # Future cells (reintegration) get wrapped on registration.
+    registry = system.registry
+    orig_register = registry.register
+
+    def register_and_trace(cell) -> None:
+        orig_register(cell)
+        _wrap_cell(cell, log, sim)
+
+    registry.register = register_and_trace
+    return log
+
+
+def _wrap_cell(cell, log: TraceLog, sim) -> None:
+    if getattr(cell, "_trace_wrapped", False):
+        return
+    cell._trace_wrapped = True
+    orig_hint = cell.detector.hint
+
+    def traced_hint(suspect, reason):
+        log.emit(sim.now, CAT_DETECT, cell.kernel_id,
+                 f"suspects cell {suspect}: {reason}")
+        orig_hint(suspect, reason)
+
+    cell.detector.hint = traced_hint
+    orig_panic = cell.panic
+
+    def traced_panic(reason):
+        log.emit(sim.now, CAT_PROC, cell.kernel_id, f"PANIC: {reason}")
+        orig_panic(reason)
+
+    cell.panic = traced_panic

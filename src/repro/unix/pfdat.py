@@ -1,0 +1,212 @@
+"""Page frame data structures (pfdats) and the pfdat hash table.
+
+Section 5.1 of the paper: "each page frame in paged memory is managed by
+an entry in a table of page frame data structures (pfdats).  Each pfdat
+records the logical page id of the data stored in the corresponding frame.
+The logical page id has two components: a tag and an offset.  The tag
+identifies the object to which the logical page belongs.  This can be
+either a file ... or a node in the copy-on-write tree ...  The pfdats are
+linked into a hash table that allows lookup by logical page id."
+
+Hive's memory sharing adds *extended pfdats* (Section 5.2): dynamically
+allocated pfdats that bind a logical page id to a page frame belonging to
+another cell.  "Extended pfdats are used in both cases [logical and
+physical sharing] to allow most of the kernel to operate on the remote
+page as if it were a local page."  Section 5.5: "the logical-level and
+physical-level state machines use separate storage within each pfdat" —
+hence the disjoint field groups below.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.unix.kheap import KObject
+
+#: A logical page id: (tag, offset).  The tag is a hashable object id —
+#: ``("file", fs_id, inode)`` or ``("anon", cell_id, cow_node_id)``.
+LogicalId = Tuple[tuple, int]
+
+
+class Pfdat(KObject):
+    """One page-frame descriptor."""
+
+    __slots__ = (
+        "frame", "logical_id", "valid", "dirty", "refcount",
+        # logical-level sharing state (Figure 5.3a)
+        "exported_to", "imported_from", "export_writable",
+        # physical-level sharing state (Figure 5.3b)
+        "loaned_to", "borrowed_from",
+        # bookkeeping
+        "extended", "on_free_list",
+    )
+
+    def __init__(self, frame: int, extended: bool = False):
+        super().__init__()
+        self.frame = frame
+        self.logical_id: Optional[LogicalId] = None
+        self.valid = False           # frame holds meaningful data
+        self.dirty = False           # modified with respect to backing store
+        self.refcount = 0            # mappings + transient kernel references
+        # Logical level: which client cells import this page (data-home
+        # side), or which cell is the data home (client side).
+        self.exported_to: Set[int] = set()
+        self.export_writable: Set[int] = set()
+        self.imported_from: Optional[int] = None
+        # Physical level: frame loaned out (memory-home side) or borrowed
+        # (data-home side).
+        self.loaned_to: Optional[int] = None
+        self.borrowed_from: Optional[int] = None
+        self.extended = extended
+        self.on_free_list = False
+
+    @property
+    def is_shared_logically(self) -> bool:
+        return bool(self.exported_to) or self.imported_from is not None
+
+    @property
+    def is_shared_physically(self) -> bool:
+        return self.loaned_to is not None or self.borrowed_from is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ext" if self.extended else "reg"
+        return (f"<Pfdat {kind} frame={self.frame} id={self.logical_id} "
+                f"dirty={self.dirty} ref={self.refcount}>")
+
+
+class NoFreeFrames(MemoryError):
+    """The allocator found no acceptable free frame."""
+
+
+class PfdatTable:
+    """One kernel's page-frame table, hash table, and free list."""
+
+    def __init__(self, owned_frames: Iterable[int]):
+        self._by_frame: Dict[int, Pfdat] = {}
+        self._hash: Dict[LogicalId, Pfdat] = {}
+        self._free: Deque[int] = deque()
+        self.owned_frames: Set[int] = set()
+        for frame in owned_frames:
+            pf = Pfdat(frame)
+            pf.on_free_list = True
+            self._by_frame[frame] = pf
+            self._free.append(frame)
+            self.owned_frames.add(frame)
+        #: frames this kernel has loaned out: parked on a reserved list,
+        #: "the memory home moves the page frame to a reserved list and
+        #: ignores it until the data home frees it or fails" (Section 5.4).
+        self.reserved: Dict[int, Pfdat] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    # -- hash table -------------------------------------------------------
+
+    def lookup(self, logical_id: LogicalId) -> Optional[Pfdat]:
+        self.lookups += 1
+        pf = self._hash.get(logical_id)
+        if pf is not None:
+            self.hits += 1
+        return pf
+
+    def insert(self, pf: Pfdat, logical_id: LogicalId) -> None:
+        if logical_id in self._hash:
+            raise ValueError(f"duplicate logical id {logical_id}")
+        if pf.logical_id is not None:
+            raise ValueError(f"pfdat already bound to {pf.logical_id}")
+        pf.logical_id = logical_id
+        pf.valid = True
+        self._hash[logical_id] = pf
+
+    def remove(self, pf: Pfdat) -> None:
+        if pf.logical_id is None:
+            return
+        current = self._hash.get(pf.logical_id)
+        if current is pf:
+            del self._hash[pf.logical_id]
+        pf.logical_id = None
+        pf.valid = False
+
+    def by_frame(self, frame: int) -> Optional[Pfdat]:
+        return self._by_frame.get(frame)
+
+    def all_pfdats(self) -> List[Pfdat]:
+        return list(self._by_frame.values())
+
+    def hashed_pfdats(self) -> List[Pfdat]:
+        return list(self._hash.values())
+
+    # -- frame allocation -----------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def alloc_frame(self) -> Pfdat:
+        """Take a frame off the local free list."""
+        while self._free:
+            frame = self._free.popleft()
+            pf = self._by_frame[frame]
+            if not pf.on_free_list:
+                continue  # stale entry (frame was reserved/loaned meanwhile)
+            pf.on_free_list = False
+            pf.dirty = False
+            pf.refcount = 0
+            return pf
+        raise NoFreeFrames("local free list empty")
+
+    def free_frame(self, pf: Pfdat) -> None:
+        """Return a local frame to the free list."""
+        if pf.extended:
+            raise ValueError("extended pfdats are released, not freed")
+        if pf.frame not in self.owned_frames:
+            raise ValueError(f"frame {pf.frame} not owned by this kernel")
+        if pf.refcount:
+            raise ValueError(f"freeing frame {pf.frame} with refs")
+        self.remove(pf)
+        pf.exported_to.clear()
+        pf.export_writable.clear()
+        if not pf.on_free_list:
+            pf.on_free_list = True
+            self._free.append(pf.frame)
+
+    # -- extended pfdats ----------------------------------------------------
+
+    def alloc_extended(self, frame: int) -> Pfdat:
+        """Allocate an extended pfdat bound to a (remote) frame."""
+        if frame in self._by_frame and frame in self.owned_frames:
+            raise ValueError(
+                f"frame {frame} is local; reuse its regular pfdat "
+                "(Section 5.5 reimport path)"
+            )
+        if frame in self._by_frame:
+            raise ValueError(f"extended pfdat for frame {frame} exists")
+        pf = Pfdat(frame, extended=True)
+        self._by_frame[frame] = pf
+        return pf
+
+    def release_extended(self, pf: Pfdat) -> None:
+        """Free an extended pfdat (its frame belongs to another cell)."""
+        if not pf.extended:
+            raise ValueError("not an extended pfdat")
+        self.remove(pf)
+        self._by_frame.pop(pf.frame, None)
+
+    # -- physical-level frame movement ----------------------------------------
+
+    def move_to_reserved(self, pf: Pfdat, borrower: int) -> None:
+        """Loan a local frame: park it on the reserved list."""
+        if pf.frame not in self.owned_frames:
+            raise ValueError("can only loan owned frames")
+        pf.loaned_to = borrower
+        pf.on_free_list = False
+        self.reserved[pf.frame] = pf
+
+    def return_from_reserved(self, frame: int) -> Pfdat:
+        pf = self.reserved.pop(frame)
+        pf.loaned_to = None
+        return pf
+
+    def loaned_frames_to(self, cell_id: int) -> List[Pfdat]:
+        return [pf for pf in self.reserved.values() if pf.loaned_to == cell_id]

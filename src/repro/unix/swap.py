@@ -1,0 +1,199 @@
+"""Swap space and the page-replacement (clock hand) daemon.
+
+Two of the per-cell policy modules Wax drives (Table 3.4) live here:
+
+* the **virtual memory clock hand** — a kernel daemon that keeps a
+  reserve of free frames by evicting unreferenced pages: clean file
+  pages are dropped, dirty file pages written back, and anonymous pages
+  swapped out to the swap partition;
+* the **swapper** backing store — a slot allocator on the local disk for
+  anonymous pages, from which faults swap pages back in.
+
+Section 5.7: Wax "will direct the virtual memory clock hand process
+running on each cell to preferentially free pages whose memory home is
+under memory pressure" — the daemon consults a preferred-source hook
+that Hive cells wire to Wax's ``clockhand_target`` hint, returning
+borrowed frames (and releasing imports) from the pressured cell first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.unix.fs import PAGE
+
+
+class SwapSpace:
+    """Anonymous-page backing store on a local disk.
+
+    Slots are disk blocks past the file system's region; contents are
+    kept per-slot like the file platter so swapped data survives frame
+    reuse (but not node failure — anonymous data has no remote copies).
+    """
+
+    #: first disk block used for swap (leaves room for the file system)
+    BASE_BLOCK = 1_000_000
+
+    def __init__(self, sim, disk):
+        self.sim = sim
+        self.disk = disk
+        self._slots: Dict[tuple, int] = {}       # logical id -> block
+        self._data: Dict[int, bytes] = {}
+        self._next_block = self.BASE_BLOCK
+        self._free_blocks: List[int] = []
+        self.swap_outs = 0
+        self.swap_ins = 0
+
+    def has(self, logical_id: tuple) -> bool:
+        return logical_id in self._slots
+
+    def _alloc_block(self) -> int:
+        if self._free_blocks:
+            return self._free_blocks.pop()
+        block = self._next_block
+        self._next_block += PAGE // 512
+        return block
+
+    def swap_out(self, logical_id: tuple, data: bytes) -> Generator:
+        """Write one anonymous page to swap (a disk write)."""
+        if len(data) != PAGE:
+            raise ValueError("swap writes whole pages")
+        block = self._slots.get(logical_id)
+        if block is None:
+            block = self._alloc_block()
+            self._slots[logical_id] = block
+        yield from self.disk.write(block, PAGE)
+        self._data[block] = bytes(data)
+        self.swap_outs += 1
+        return None
+
+    def swap_in(self, logical_id: tuple) -> Generator:
+        """Read one anonymous page back; returns its bytes."""
+        block = self._slots.get(logical_id)
+        if block is None:
+            raise KeyError(f"{logical_id} not in swap")
+        yield from self.disk.read(block, PAGE)
+        self.swap_ins += 1
+        return self._data[block]
+
+    def discard(self, logical_id: tuple) -> None:
+        """Free a slot (process exit or page discard)."""
+        block = self._slots.pop(logical_id, None)
+        if block is not None:
+            self._data.pop(block, None)
+            self._free_blocks.append(block)
+
+    @property
+    def slots_used(self) -> int:
+        return len(self._slots)
+
+
+class ClockHand:
+    """The page-replacement daemon for one kernel."""
+
+    def __init__(self, kernel, low_watermark: int = 128,
+                 target_free: int = 256,
+                 period_ns: int = 100_000_000):
+        self.kernel = kernel
+        self.low_watermark = low_watermark
+        self.target_free = target_free
+        self.period_ns = period_ns
+        self.passes = 0
+        self.freed_clean = 0
+        self.freed_dirty = 0
+        self.freed_anon = 0
+        self.returned_borrowed = 0
+        self._hand = 0
+        self._proc = kernel.sim.process(self._loop(),
+                                        name=f"k{kernel.kernel_id}.clockhand")
+
+    # -- the daemon loop ---------------------------------------------------
+
+    def _loop(self) -> Generator:
+        sim = self.kernel.sim
+        while True:
+            yield sim.timeout(self.period_ns)
+            if not self.kernel.alive:
+                return
+            if self.kernel.pfdats.free_count >= self.low_watermark:
+                continue
+            yield from self.run_pass()
+
+    def run_pass(self) -> Generator:
+        """One sweep: free pages until the target reserve is met."""
+        self.passes += 1
+        kernel = self.kernel
+        # Preferred source first (Wax's clockhand_target): give back
+        # memory belonging to the pressured cell.
+        preferred = kernel.clockhand_preferred_source()
+        if preferred is not None:
+            yield from self._release_foreign(preferred)
+        candidates = [pf for pf in kernel.pfdats.hashed_pfdats()
+                      if pf.refcount == 0 and not pf.extended
+                      and not pf.exported_to and pf.loaned_to is None]
+        # Clock order: resume the sweep where the hand stopped.
+        candidates.sort(key=lambda pf: pf.frame)
+        start = 0
+        for i, pf in enumerate(candidates):
+            if pf.frame >= self._hand:
+                start = i
+                break
+        ordered = candidates[start:] + candidates[:start]
+        for pf in ordered:
+            if kernel.pfdats.free_count >= self.target_free:
+                break
+            self._hand = pf.frame + 1
+            yield from self._evict(pf)
+        return None
+
+    def _evict(self, pf) -> Generator:
+        kernel = self.kernel
+        logical_id = pf.logical_id
+        if logical_id is None:
+            return None
+        tag = logical_id[0]
+        if pf.dirty and tag[0] == "file":
+            yield from kernel.writeback_page(pf)
+            self.freed_dirty += 1
+        elif tag[0] in ("anon", "task"):
+            # Swap the anonymous page out before dropping the frame.
+            data = kernel.machine.memory.read_page(pf.frame)
+            yield from kernel.swap.swap_out(logical_id, data)
+            self.freed_anon += 1
+        else:
+            self.freed_clean += 1
+        if pf.refcount == 0 and pf.logical_id is not None:
+            kernel.pfdats.free_frame(pf)
+        return None
+
+    def _release_foreign(self, source_cell: int) -> Generator:
+        """Return borrowed frames / release imports from a pressured cell."""
+        kernel = self.kernel
+        released = 0
+        # Unused borrowed stock first (these also appear in the frame
+        # registry, so drop them from the free list before returning).
+        borrowed_free = getattr(kernel, "_borrowed_free", None)
+        if borrowed_free:
+            keep = []
+            for pf in borrowed_free:
+                if pf.borrowed_from == source_cell and released < 64:
+                    kernel.return_borrowed_frame(pf)
+                    released += 1
+                else:
+                    keep.append(pf)
+            kernel._borrowed_free = keep
+        for pf in list(kernel.pfdats.all_pfdats()):
+            if not pf.extended or released >= 64:
+                continue
+            if pf.borrowed_from == source_cell and pf.refcount == 0 \
+                    and pf.logical_id is None:
+                kernel.return_borrowed_frame(pf)
+                released += 1
+            elif pf.imported_from == source_cell and pf.refcount == 0:
+                kernel.release_imported_page(pf)
+                released += 1
+        self.returned_borrowed += released
+        if released:
+            yield kernel.sim.timeout(
+                released * kernel.costs.unmap_page_ns)
+        return None

@@ -1,0 +1,36 @@
+"""Workloads for the evaluation (Table 7.1 of the paper).
+
+Three synthetic workloads reproduce the *sharing patterns* of the
+originals, which is what the fault-containment and firewall results depend
+on:
+
+* :mod:`repro.workloads.pmake` — parallel compilation (11 files, four at
+  a time): many short processes spread across cells, read-shared sources
+  and headers, write-shared intermediate files in ``/tmp``;
+* :mod:`repro.workloads.ocean` — Splash-2-style grid simulation: one
+  spanning task whose data segment is write-shared by all threads;
+* :mod:`repro.workloads.raytrace` — rendering: a read-mostly scene built
+  by a parent and shared copy-on-write with workers forked across cells;
+* :mod:`repro.workloads.micro` — the kernel-operation microbenchmarks of
+  Tables 5.2 and 7.3 and Sections 4.1/6.
+
+All workloads run unchanged on the IRIX baseline (one kernel) and any
+Hive configuration through the :class:`~repro.workloads.base.Platform`
+adapter.
+"""
+
+from repro.workloads.base import Platform, WorkloadResult
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.pmake import PmakeWorkload
+from repro.workloads.raytrace import RaytraceWorkload
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+__all__ = [
+    "OceanWorkload",
+    "Platform",
+    "PmakeWorkload",
+    "RaytraceWorkload",
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "WorkloadResult",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures: small machines and booted systems for fast tests."""
+
+import pytest
+
+from repro.core.hive import boot_hive, boot_irix
+from repro.hardware.machine import Machine, MachineConfig
+from repro.hardware.params import HardwareParams
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def machine(sim):
+    return Machine(sim, MachineConfig())
+
+
+@pytest.fixture
+def small_machine(sim):
+    return Machine(sim, MachineConfig(params=HardwareParams(num_nodes=2)))
+
+
+@pytest.fixture
+def hive2(sim):
+    """Two cells on two nodes (the paper's microbenchmark config)."""
+    return boot_hive(sim, num_cells=2,
+                     machine_config=MachineConfig(
+                         params=HardwareParams(num_nodes=2)))
+
+
+@pytest.fixture
+def hive4(sim):
+    """Four cells on four nodes (the paper's main config)."""
+    return boot_hive(sim, num_cells=4)
+
+
+@pytest.fixture
+def irix(sim):
+    return boot_irix(sim)

@@ -1,0 +1,18 @@
+"""Shared test helpers."""
+
+
+def run_program(system_or_kernel, cell_id, program,
+                deadline_ns=60_000_000_000):
+    """Run one init program to completion; returns (kernel, thread)."""
+    from repro.core.hive import HiveSystem
+
+    if isinstance(system_or_kernel, HiveSystem):
+        kernel = system_or_kernel.cell(cell_id)
+    else:
+        kernel = system_or_kernel
+    proc = kernel.create_process("test-init")
+    thread = kernel.start_thread(proc, program)
+    kernel.sim.run_until_event(thread.sim_process,
+                               deadline=kernel.sim.now + deadline_ns)
+    assert thread.sim_process.triggered, "test program did not finish"
+    return kernel, thread

@@ -1,0 +1,51 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pmake"])
+        assert args.workload == "pmake"
+        assert args.cells == 4
+        assert not args.irix
+
+    def test_inject_args(self):
+        args = build_parser().parse_args(
+            ["inject", "sw_cow_tree", "--trials", "2",
+             "--agreement", "voting"])
+        assert args.scenario == "sw_cow_tree"
+        assert args.trials == 2
+        assert args.agreement == "voting"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_small_hive(self, capsys):
+        rc = main(["run", "raytrace", "--cells", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jobs completed      : 4" in out
+        assert "invariant check     : clean" in out
+
+    def test_run_irix_baseline(self, capsys):
+        rc = main(["run", "ocean", "--irix", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "IRIX" in out
+
+    def test_inject_contained(self, capsys):
+        rc = main(["inject", "hw_process_creation", "--trials", "1",
+                   "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "contained 1/1" in out

@@ -1,0 +1,287 @@
+"""Tests for failure detection, agreement, and recovery (Sections 4.2/4.3)."""
+
+import pytest
+
+from repro.core.agreement import OracleAgreement, VotingAgreement
+from repro.core.failure import StrikeBook
+from repro.core.hive import boot_hive
+from repro.hardware.machine import MachineConfig
+from repro.hardware.params import HardwareParams
+from repro.sim.engine import Simulator
+from repro.unix.fs import PAGE
+
+from tests.helpers import run_program
+
+
+def boot4(agreement="voting", reintegrate=False, seed=1):
+    sim = Simulator()
+    return boot_hive(sim, num_cells=4,
+                     machine_config=MachineConfig(seed=seed),
+                     agreement=agreement, reintegrate=reintegrate)
+
+
+def settle(hive, ms=400):
+    hive.sim.run(until=hive.sim.now + ms * 1_000_000)
+
+
+class TestClockMonitoring:
+    def test_monitor_ring_wiring(self, hive4):
+        ring = {c.kernel_id: c.detector.monitored_cell
+                for c in hive4.cells}
+        assert ring == {0: 1, 1: 2, 2: 3, 3: 0}
+
+    def test_heartbeats_advance(self, hive4):
+        settle(hive4, ms=100)
+        assert all(c.heartbeat_value >= 8 for c in hive4.cells)
+
+    def test_halted_node_detected_by_monitor(self):
+        hive = boot4()
+        hive.machine.halt_node(2)
+        settle(hive)
+        assert not hive.registry.is_live(2)
+        assert [r for r in hive.coordinator.records
+                if r.dead_cells == {2}]
+
+    def test_processor_only_halt_detected_by_stall(self):
+        """Clock monitoring catches halted CPUs whose memory still works
+        (no bus error available — the stall heuristic must fire)."""
+        hive = boot4()
+        hive.machine.halt_processor_only(2)
+        settle(hive)
+        assert not hive.registry.is_live(2)
+
+    def test_panicked_cell_detected(self):
+        hive = boot4()
+        hive.cell(2).panic("injected corruption")
+        settle(hive)
+        assert not hive.registry.is_live(2)
+
+    def test_ring_rewired_after_death(self):
+        hive = boot4()
+        hive.machine.halt_node(2)
+        settle(hive)
+        ring = {c: hive.cell(c).detector.monitored_cell for c in (0, 1, 3)}
+        assert ring == {0: 1, 1: 3, 3: 0}
+
+
+class TestAgreement:
+    def test_voting_confirms_dead_cell(self):
+        hive = boot4()
+        hive.machine.halt_node(3)
+
+        def prog():
+            result = yield from VotingAgreement(hive.registry).run(0, {3})
+            return result
+
+        proc = hive.sim.process(prog())
+        hive.sim.run_until_event(proc, deadline=hive.sim.now + 10**10)
+        assert proc.value.confirmed_dead == {3}
+
+    def test_voting_rejects_live_suspect(self):
+        hive = boot4()
+
+        def prog():
+            result = yield from VotingAgreement(hive.registry).run(0, {3})
+            return result
+
+        proc = hive.sim.process(prog())
+        hive.sim.run_until_event(proc, deadline=hive.sim.now + 10**10)
+        assert proc.value.confirmed_dead == set()
+
+    def test_oracle_matches_ground_truth(self):
+        hive = boot4(agreement="oracle")
+        hive.machine.halt_node(1)
+
+        def prog():
+            return (yield from OracleAgreement(hive.registry).run(0, {1}))
+
+        proc = hive.sim.process(prog())
+        hive.sim.run_until_event(proc, deadline=hive.sim.now + 10**10)
+        assert proc.value.confirmed_dead == {1}
+
+    def test_false_accusation_strikes_accuser_out(self):
+        """Two voted-down alerts for the same suspect mark the accuser
+        corrupt and it is rebooted by its peers (Section 4.3)."""
+        hive = boot4()
+        accuser = hive.cell(0)
+        accuser.detector.hint(2, "spurious alert")
+        settle(hive, ms=100)
+        assert hive.registry.is_live(0) and hive.registry.is_live(2)
+        accuser.detector.hint(2, "spurious alert again")
+        settle(hive, ms=200)
+        # The accuser, not the accused, was taken down.
+        assert hive.registry.is_live(2)
+        assert not hive.registry.is_live(0)
+
+    def test_strike_book(self):
+        book = StrikeBook(limit=2)
+        assert not book.voted_down(1, 2)
+        assert book.voted_down(1, 2)
+        book.clear_cell(1)
+        assert book.count(1, 2) == 0
+
+
+class TestRecovery:
+    def _shared_setup(self, hive):
+        """Cell 0 writes a file served by cell 1; cell 3 write-imports it."""
+        hive.namespace.mount("/srv", 1)
+        data = b"d" * (PAGE * 2)
+
+        def writer(ctx):
+            fd = yield from ctx.open("/srv/file", "w", create=True)
+            yield from ctx.write(fd, data)
+            yield from ctx.close(fd)
+
+        run_program(hive, 1, writer)
+
+        hold = {}
+
+        def importer(ctx):
+            region = yield from ctx.map_file("/srv/file", writable=True)
+            yield from ctx.touch(region, 0, write=True)
+            hold["region"] = region
+            yield from ctx.compute(10_000_000_000)  # keep it mapped
+
+        cell3 = hive.cell(3)
+        proc = cell3.create_process("importer")
+        cell3.start_thread(proc, importer)
+        hive.sim.run(until=hive.sim.now + 200_000_000)
+        return hold
+
+    def test_discard_bumps_generation_of_dirty_exports(self):
+        hive = boot4()
+        self._shared_setup(hive)
+        owner = hive.cell(1)
+        fs = owner.local_fs_for("/srv/file")
+        assert fs.lookup("/srv/file").generation == 0
+        hive.machine.halt_node(3)
+        settle(hive)
+        record = hive.coordinator.records[-1]
+        assert record.dead_cells == {3}
+        assert record.discarded_pages >= 1
+        assert fs.lookup("/srv/file").generation == 1
+
+    def test_firewall_grants_revoked_in_recovery(self):
+        hive = boot4()
+        self._shared_setup(hive)
+        owner = hive.cell(1)
+        assert owner.firewall_mgr.remotely_writable_pages() >= 1
+        hive.machine.halt_node(3)
+        settle(hive)
+        assert owner.firewall_mgr.remotely_writable_pages() == 0
+
+    def test_survivor_count_and_liveness(self):
+        hive = boot4()
+        self._shared_setup(hive)
+        hive.machine.halt_node(3)
+        settle(hive)
+        assert hive.registry.live_cell_ids() == [0, 1, 2]
+        for c in (0, 1, 2):
+            assert hive.cell(c).alive
+
+    def test_imports_from_dead_cell_dropped(self):
+        hive = boot4()
+        hive.namespace.mount("/victim", 3)
+        data = b"v" * PAGE
+
+        def writer(ctx):
+            fd = yield from ctx.open("/victim/f", "w", create=True)
+            yield from ctx.write(fd, data)
+            yield from ctx.close(fd)
+
+        run_program(hive, 3, writer)
+
+        def importer(ctx):
+            region = yield from ctx.map_file("/victim/f")
+            yield from ctx.touch(region, 0)
+            yield from ctx.compute(10_000_000_000)
+
+        c0 = hive.cell(0)
+        proc = c0.create_process("imp")
+        c0.start_thread(proc, importer)
+        hive.sim.run(until=hive.sim.now + 100_000_000)
+        assert any(pf.extended for pf in c0.pfdats.all_pfdats())
+        hive.machine.halt_node(3)
+        settle(hive)
+        assert not any(pf.extended for pf in c0.pfdats.all_pfdats())
+
+    def test_user_processes_resume_after_recovery(self):
+        hive = boot4()
+        out = {}
+
+        def busy(ctx):
+            yield from ctx.compute(600_000_000)
+            out["finished"] = ctx.sim.now
+
+        c0 = hive.cell(0)
+        proc = c0.create_process("busy")
+        c0.start_thread(proc, busy)
+        hive.sim.schedule(50_000_000, hive.machine.halt_node, 3)
+        settle(hive, ms=1500)
+        assert "finished" in out
+        assert not c0.user_suspended
+
+    def test_double_barrier_ordering(self):
+        """All survivors pass barrier 1 before any passes barrier 2."""
+        hive = boot4()
+        from repro.core.recovery import BarrierService
+
+        order = []
+        orig_join = BarrierService.join
+
+        def spy(self, key, cell_id, participants):
+            order.append((key[1], cell_id))
+            return orig_join(self, key, cell_id, participants)
+
+        BarrierService.join = spy
+        try:
+            hive.machine.halt_node(3)
+            settle(hive)
+        finally:
+            BarrierService.join = orig_join
+        firsts = [i for i, (phase, _c) in enumerate(order) if phase == 1]
+        seconds = [i for i, (phase, _c) in enumerate(order) if phase == 2]
+        assert len(firsts) == 3 and len(seconds) == 3
+        assert max(firsts) < min(seconds)
+
+    def test_reintegration_reboots_cell(self):
+        hive = boot4(reintegrate=True)
+        hive.machine.halt_node(3)
+        hive.sim.run(until=hive.sim.now + 4_000_000_000)
+        assert hive.registry.is_live(3)
+        assert hive.cell(3).incarnation == 1
+        assert hive.coordinator.records[-1].rebooted
+        # The reborn cell serves RPCs again.
+        c0 = hive.cell(0)
+
+        def prog():
+            return (yield from c0.rpc.call(3, "ping", {}))
+
+        proc = hive.sim.process(prog())
+        hive.sim.run_until_event(proc, deadline=hive.sim.now + 10**10)
+        assert proc.value == "alive"
+
+    def test_platters_survive_reintegration(self):
+        hive = boot4(reintegrate=True)
+        hive.namespace.mount("/persist", 3)
+        payload = b"durable" + b"\x00" * (PAGE - 7)
+
+        def writer(ctx):
+            fd = yield from ctx.open("/persist/f", "w", create=True)
+            yield from ctx.write(fd, payload)
+            yield from ctx.close(fd)
+
+        run_program(hive, 3, writer)
+        # Push it to stable storage before the crash.
+        proc = hive.sim.process(hive.cell(3).sync_all())
+        hive.sim.run_until_event(proc, deadline=hive.sim.now + 10**11)
+        hive.machine.halt_node(3)
+        hive.sim.run(until=hive.sim.now + 4_000_000_000)
+        out = {}
+
+        def reader(ctx):
+            fd = yield from ctx.open("/persist/f", "r")
+            out["data"] = yield from ctx.read(fd, PAGE)
+
+        run_program(hive, 3, reader)
+        assert out["data"] == payload

@@ -1,0 +1,181 @@
+"""Tests for the intercell RPC subsystem."""
+
+import pytest
+
+from repro.core.rpc import (
+    MUST_QUEUE,
+    QUEUED,
+    RpcHandlerError,
+    RpcRemoteError,
+)
+from repro.unix.errors import RpcTimeout
+
+
+def drive(system, gen, deadline=60_000_000_000):
+    proc = system.sim.process(gen, name="rpctest")
+    system.sim.run_until_event(proc, deadline=system.sim.now + deadline)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc._value
+    return proc.value
+
+
+class TestBasicRpc:
+    def test_null_rpc_latency_is_paper_value(self, hive2):
+        c0 = hive2.cell(0)
+
+        def bench():
+            t0 = c0.sim.now
+            result = yield from c0.rpc.call(1, "ping", {})
+            return result, c0.sim.now - t0
+
+        result, latency = drive(hive2, bench())
+        assert result == "alive"
+        assert latency == 7_200  # Section 6: 7.2 us
+
+    def test_queued_rpc_latency_is_paper_value(self, hive2):
+        c0 = hive2.cell(0)
+
+        def bench():
+            t0 = c0.sim.now
+            yield from c0.rpc.call(1, "ping_queued", {})
+            return c0.sim.now - t0
+
+        assert drive(hive2, bench()) == 34_000  # Section 6: 34 us
+
+    def test_rpc_to_self_rejected(self, hive2):
+        c0 = hive2.cell(0)
+        with pytest.raises(ValueError):
+            next(c0.rpc.call(0, "ping", {}))
+
+    def test_unknown_op_returns_error(self, hive2):
+        c0 = hive2.cell(0)
+
+        def bench():
+            try:
+                yield from c0.rpc.call(1, "no_such_op", {})
+            except RpcRemoteError as exc:
+                return exc.errno
+
+        assert drive(hive2, bench()) == "EOPNOTSUPP"
+
+    def test_handler_error_propagates_errno(self, hive2):
+        c0, c1 = hive2.cell(0), hive2.cell(1)
+
+        def failing(src, args):
+            raise RpcHandlerError("EPERM", "nope")
+            yield  # pragma: no cover
+
+        c1.rpc.register("always_fails", failing)
+
+        def bench():
+            try:
+                yield from c0.rpc.call(1, "always_fails", {})
+            except RpcRemoteError as exc:
+                return exc.errno
+
+        assert drive(hive2, bench()) == "EPERM"
+
+    def test_oversize_args_charge_copy_costs(self, hive2):
+        c0 = hive2.cell(0)
+
+        def bench():
+            t0 = c0.sim.now
+            yield from c0.rpc.call(1, "ping", {}, arg_bytes=512)
+            return c0.sim.now - t0
+
+        latency = drive(hive2, bench())
+        # stubs 4.9 + copy 3.9 + alloc 3.4 + hw 2.0 + dispatch 3.1 us
+        assert latency == 17_300
+
+    def test_must_queue_fallback(self, hive2):
+        c0, c1 = hive2.cell(0), hive2.cell(1)
+        calls = []
+
+        def picky(src, args):
+            calls.append("attempt")
+            if len(calls) == 1:
+                yield c1.sim.timeout(0)
+                return MUST_QUEUE
+            yield c1.sim.timeout(0)
+            return "served-queued"
+
+        c1.rpc.register("picky", picky)
+
+        def bench():
+            return (yield from c0.rpc.call(1, "picky", {}))
+
+        assert drive(hive2, bench()) == "served-queued"
+        assert len(calls) == 2
+        assert c1.rpc.metrics.counter("queued_fallback").value == 1
+
+
+class TestFailureBehaviour:
+    def test_rpc_to_halted_cell_times_out_with_hint(self, hive2):
+        c0 = hive2.cell(0)
+        hive2.machine.halt_node(1)
+
+        def bench():
+            try:
+                yield from c0.rpc.call(1, "ping", {},
+                                       timeout_ns=5_000_000)
+            except RpcTimeout:
+                return "timeout"
+
+        assert drive(hive2, bench()) == "timeout"
+        assert any(h.suspect == 1 for h in c0.detector.hints)
+
+    def test_flow_control_retries_until_delivered(self, hive2):
+        """A burst larger than the SIPS queue depth must still deliver
+        every message (hardware flow control, never drops)."""
+        c0 = hive2.cell(0)
+        n = hive2.params.sips_queue_depth * 3
+
+        def one():
+            return (yield from c0.rpc.call(1, "ping", {}))
+
+        procs = [hive2.sim.process(one()) for _ in range(n)]
+        hive2.sim.run_until_event(hive2.sim.all_of(procs),
+                                  deadline=hive2.sim.now + 60_000_000_000)
+        assert all(p.ok and p.value == "alive" for p in procs)
+
+    def test_concurrent_queued_requests_all_served(self, hive2):
+        c0 = hive2.cell(0)
+
+        def one():
+            return (yield from c0.rpc.call(1, "ping_queued", {}))
+
+        procs = [hive2.sim.process(one()) for _ in range(12)]
+        hive2.sim.run_until_event(hive2.sim.all_of(procs),
+                                  deadline=hive2.sim.now + 60_000_000_000)
+        assert all(p.value == "alive" for p in procs)
+
+    def test_server_steals_cpu_from_user_threads(self, hive2):
+        """RPC service time on the server cell stretches its user work."""
+        c1 = hive2.cell(1)
+        before = c1._stolen_ns
+        c0 = hive2.cell(0)
+
+        def storm():
+            for _ in range(50):
+                yield from c0.rpc.call(1, "ping", {})
+
+        drive(hive2, storm())
+        assert c1._stolen_ns > before
+
+    def test_shutdown_fails_pending_calls(self, hive2):
+        c0, c1 = hive2.cell(0), hive2.cell(1)
+
+        def never(src, args):
+            yield c1.sim.timeout(10_000_000_000)
+            return "too late"
+
+        c1.rpc.register("slow", never, QUEUED)
+
+        def bench():
+            try:
+                yield from c0.rpc.call(1, "slow", {}, timeout_ns=2_000_000)
+            except RpcTimeout:
+                return "timed out"
+
+        assert drive(hive2, bench()) == "timed out"

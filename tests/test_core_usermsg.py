@@ -1,0 +1,164 @@
+"""Tests for user-level messaging on direct SIPS access (Section 6)."""
+
+import pytest
+
+from tests.helpers import run_program
+
+
+class TestOneWayMessages:
+    def test_send_and_receive_across_cells(self, hive2):
+        out = {}
+
+        def receiver(ctx):
+            queue = ctx.kernel.usermsg.bind(100)
+            msg = yield from ctx.kernel.usermsg.recv(ctx, queue)
+            out["data"] = msg.payload
+            out["src_cell"] = msg.src_cell
+
+        def sender(ctx):
+            yield from ctx.compute(1_000_000)  # let the receiver bind
+            ok = yield from ctx.kernel.usermsg.send(
+                ctx, 1, 100, {"hello": "world"})
+            out["sent"] = ok
+
+        r = hive2.cell(1).create_process("rx")
+        hive2.cell(1).start_thread(r, receiver)
+        run_program(hive2, 0, sender)
+        hive2.sim.run(until=hive2.sim.now + 100_000_000)
+        assert out["sent"]
+        assert out["data"] == {"hello": "world"}
+        assert out["src_cell"] == 0
+
+    def test_messages_keep_fifo_order(self, hive2):
+        out = {"got": []}
+
+        def receiver(ctx):
+            queue = ctx.kernel.usermsg.bind(7)
+            for _ in range(5):
+                msg = yield from ctx.kernel.usermsg.recv(ctx, queue)
+                out["got"].append(msg.payload)
+
+        def sender(ctx):
+            yield from ctx.compute(1_000_000)
+            for i in range(5):
+                yield from ctx.kernel.usermsg.send(ctx, 1, 7, i)
+
+        r = hive2.cell(1).create_process("rx")
+        hive2.cell(1).start_thread(r, receiver)
+        run_program(hive2, 0, sender)
+        hive2.sim.run(until=hive2.sim.now + 100_000_000)
+        assert out["got"] == [0, 1, 2, 3, 4]
+
+    def test_unbound_port_drops(self, hive2):
+        out = {}
+
+        def sender(ctx):
+            out["sent"] = yield from ctx.kernel.usermsg.send(
+                ctx, 1, 999, "void")
+
+        run_program(hive2, 0, sender)
+        hive2.sim.run(until=hive2.sim.now + 100_000_000)
+        assert out["sent"]  # delivery is best-effort
+        assert hive2.cell(1).usermsg.dropped == 1
+
+    def test_oversize_payload_rejected(self, hive2):
+        out = {}
+
+        def sender(ctx):
+            try:
+                yield from ctx.kernel.usermsg.send(ctx, 1, 1, "x",
+                                                   data_bytes=4096)
+            except ValueError:
+                out["rejected"] = True
+
+        run_program(hive2, 0, sender)
+        assert out["rejected"]
+
+    def test_send_to_dead_cell_fails_cleanly(self, hive2):
+        out = {}
+        hive2.machine.halt_node(1)
+
+        def sender(ctx):
+            out["sent"] = yield from ctx.kernel.usermsg.send(
+                ctx, 1, 1, "to-the-void")
+
+        run_program(hive2, 0, sender)
+        assert out["sent"] is False
+
+    def test_recv_timeout(self, hive2):
+        out = {}
+
+        def receiver(ctx):
+            queue = ctx.kernel.usermsg.bind(5)
+            msg = yield from ctx.kernel.usermsg.recv(
+                ctx, queue, timeout_ns=2_000_000)
+            out["msg"] = msg
+
+        run_program(hive2, 0, receiver)
+        assert out["msg"] is None
+
+    def test_double_bind_rejected(self, hive2):
+        hive2.cell(0).usermsg.bind(3)
+        with pytest.raises(ValueError):
+            hive2.cell(0).usermsg.bind(3)
+
+
+class TestUserLevelRpc:
+    def test_call_and_serve(self, hive2):
+        out = {}
+
+        def server(ctx):
+            queue = ctx.kernel.usermsg.bind(200)
+            served = yield from ctx.kernel.usermsg.serve(
+                ctx, queue, lambda args: args * 2, requests=3)
+            out["served"] = served
+
+        def client(ctx):
+            yield from ctx.compute(1_000_000)
+            results = []
+            for i in range(3):
+                reply = yield from ctx.kernel.usermsg.call(
+                    ctx, 1, 200, i + 1, reply_port=300 + i)
+                results.append(reply.payload if reply else None)
+            out["results"] = results
+
+        s = hive2.cell(1).create_process("srv")
+        hive2.cell(1).start_thread(s, server)
+        run_program(hive2, 0, client)
+        hive2.sim.run(until=hive2.sim.now + 100_000_000)
+        assert out["results"] == [2, 4, 6]
+        assert out["served"] == 3
+
+    def test_call_timeout_when_no_server(self, hive2):
+        out = {}
+
+        def client(ctx):
+            reply = yield from ctx.kernel.usermsg.call(
+                ctx, 1, 201, "anyone?", reply_port=301,
+                timeout_ns=3_000_000)
+            out["reply"] = reply
+
+        run_program(hive2, 0, client)
+        assert out["reply"] is None
+
+    def test_user_rpc_cheaper_than_kernel_queued_rpc(self, hive2):
+        """The point of the library: user-level RPC on raw SIPS skips
+        the kernel's stub/queue machinery."""
+        out = {}
+
+        def server(ctx):
+            queue = ctx.kernel.usermsg.bind(202)
+            yield from ctx.kernel.usermsg.serve(
+                ctx, queue, lambda a: a, requests=1)
+
+        def client(ctx):
+            yield from ctx.compute(1_000_000)
+            t0 = ctx.sim.now
+            yield from ctx.kernel.usermsg.call(ctx, 1, 202, 0,
+                                               reply_port=302)
+            out["user_rpc_ns"] = ctx.sim.now - t0
+
+        s = hive2.cell(1).create_process("srv")
+        hive2.cell(1).start_thread(s, server)
+        run_program(hive2, 0, client)
+        assert out["user_rpc_ns"] < 34_000  # the kernel queued-RPC floor

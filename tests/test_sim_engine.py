@@ -1,0 +1,315 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_schedule_runs_callback_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, seen.append, "a")
+        sim.run()
+        assert seen == ["a"]
+        assert sim.now == 100
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abcde":
+            sim.schedule(50, seen.append, tag)
+        sim.run()
+        assert seen == list("abcde")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_run_until_stops_clock_at_deadline(self):
+        sim = Simulator()
+        sim.schedule(1000, lambda: None)
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_until_processes_events_at_deadline(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(500, seen.append, 1)
+        sim.run(until=500)
+        assert seen == [1]
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_run_until_event_stops_early(self):
+        sim = Simulator()
+        ev = sim.event()
+        sim.schedule(10, ev.succeed)
+        # a perpetual background process
+        ticks = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(5)
+                ticks.append(sim.now)
+
+        sim.process(ticker())
+        assert sim.run_until_event(ev, deadline=1000)
+        assert sim.now == 10
+        assert len(ticks) <= 2
+
+    def test_run_until_event_deadline_miss(self):
+        sim = Simulator()
+        ev = sim.event()
+        sim.schedule(2000, ev.succeed)
+        assert not sim.run_until_event(ev, deadline=100)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self):
+        ev = Simulator().event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        ev = Simulator().event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_callback_after_trigger_still_fires(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [1]
+
+    def test_value_before_trigger_raises(self):
+        ev = Simulator().event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_remove_callback(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+        cb = lambda e: got.append(1)
+        ev.add_callback(cb)
+        ev.remove_callback(cb)
+        ev.succeed()
+        sim.run()
+        assert got == []
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self):
+        sim = Simulator()
+        t = sim.timeout(250, value="done")
+        sim.run()
+        assert t.triggered and t.value == "done"
+        assert sim.now == 250
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().timeout(-5)
+
+
+class TestProcesses:
+    def test_process_advances_time(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(10)
+            yield sim.timeout(20)
+            return "finished"
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.value == "finished"
+        assert sim.now == 30
+
+    def test_processes_wait_on_each_other(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(100)
+            return 7
+
+        def parent():
+            result = yield sim.process(child())
+            return result * 2
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 14
+
+    def test_failed_event_raises_inside_process(self):
+        sim = Simulator(crash_on_process_error=False)
+        ev = sim.event()
+
+        def prog():
+            try:
+                yield ev
+            except ValueError:
+                return "caught"
+            return "not caught"
+
+        p = sim.process(prog())
+        sim.schedule(5, ev.fail, ValueError("boom"))
+        sim.run()
+        assert p.value == "caught"
+
+    def test_uncaught_exception_fails_process(self):
+        sim = Simulator(crash_on_process_error=False)
+
+        def prog():
+            yield sim.timeout(1)
+            raise RuntimeError("bad")
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.triggered and not p.ok
+
+    def test_uncaught_exception_crashes_run_when_configured(self):
+        sim = Simulator(crash_on_process_error=True)
+
+        def prog():
+            yield sim.timeout(1)
+            raise RuntimeError("bad")
+
+        sim.process(prog())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_yield_non_event_fails_process(self):
+        sim = Simulator(crash_on_process_error=False)
+
+        def prog():
+            yield 42
+
+        p = sim.process(prog())
+        sim.run()
+        assert not p.ok
+
+    def test_interrupt_waiting_process(self):
+        sim = Simulator()
+
+        def prog():
+            try:
+                yield sim.timeout(1000)
+            except Interrupted as exc:
+                return f"interrupted:{exc.cause}@{sim.now}"
+            return "ran out"
+
+        p = sim.process(prog())
+        sim.schedule(10, p.interrupt, "why")
+        sim.run()
+        # Delivered promptly at t=10, not when the abandoned timeout fires.
+        assert p.value == "interrupted:why@10"
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(1)
+
+        p = sim.process(prog())
+        sim.run()
+        p.interrupt("late")  # must not raise
+        sim.run()
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(5)
+
+        p = sim.process(prog())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestCombinators:
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        a, b = sim.timeout(100), sim.timeout(50)
+        any_ev = sim.any_of([a, b])
+        sim.run()
+        assert any_ev.value is b
+
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        events = [sim.timeout(t, value=t) for t in (30, 10, 20)]
+        all_ev = sim.all_of(events)
+        sim.run()
+        assert all_ev.value == [30, 10, 20]
+        assert sim.now == 30
+
+    def test_all_of_empty_succeeds(self):
+        sim = Simulator()
+        all_ev = sim.all_of([])
+        sim.run()
+        assert all_ev.triggered
+
+    def test_any_of_propagates_failure(self):
+        sim = Simulator()
+        bad = sim.event()
+        any_ev = sim.any_of([sim.timeout(100), bad])
+        sim.schedule(5, bad.fail, ValueError("x"))
+        sim.run()
+        assert any_ev.triggered and not any_ev.ok
+
+    def test_any_of_requires_events(self):
+        with pytest.raises(SimulationError):
+            Simulator().any_of([])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, delay):
+                for _ in range(5):
+                    yield sim.timeout(delay)
+                    trace.append((sim.now, tag))
+
+            for i in range(4):
+                sim.process(worker(i, 7 + i))
+            sim.run()
+            return trace
+
+        assert build() == build()

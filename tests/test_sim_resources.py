@@ -1,0 +1,163 @@
+"""Unit tests for synchronization primitives."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resources import FifoStore, Mutex, Resource, Semaphore, StoreFull
+
+
+class TestMutex:
+    def test_uncontended_acquire_is_immediate(self):
+        sim = Simulator()
+        m = Mutex(sim)
+        ev = m.acquire()
+        assert ev.triggered and m.locked
+
+    def test_fifo_handoff(self):
+        sim = Simulator()
+        m = Mutex(sim)
+        order = []
+
+        def worker(tag, hold):
+            yield m.acquire()
+            order.append(tag)
+            yield sim.timeout(hold)
+            m.release()
+
+        for i in range(3):
+            sim.process(worker(i, 10))
+        sim.run()
+        assert order == [0, 1, 2]
+        assert not m.locked
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        m = Mutex(sim)
+        assert m.try_acquire()
+        assert not m.try_acquire()
+        m.release()
+        assert m.try_acquire()
+
+    def test_release_unlocked_raises(self):
+        with pytest.raises(SimulationError):
+            Mutex(Simulator()).release()
+
+    def test_contention_metric(self):
+        sim = Simulator()
+        m = Mutex(sim)
+
+        def worker():
+            yield m.acquire()
+            yield sim.timeout(5)
+            m.release()
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert m.total_acquires == 2
+        assert m.contended_acquires == 1
+
+
+class TestSemaphore:
+    def test_down_consumes_value(self):
+        sim = Simulator()
+        s = Semaphore(sim, value=2)
+        assert s.down().triggered
+        assert s.down().triggered
+        assert not s.down().triggered
+        assert s.value == 0
+
+    def test_up_wakes_waiter_fifo(self):
+        sim = Simulator()
+        s = Semaphore(sim, value=0)
+        first, second = s.down(), s.down()
+        s.up()
+        assert first.triggered and not second.triggered
+
+    def test_negative_initial_value_rejected(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Simulator(), value=-1)
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=2)
+        a, b, c = r.request(), r.request(), r.request()
+        assert a.triggered and b.triggered and not c.triggered
+        assert r.in_use == 2 and r.available == 0
+        r.release()
+        assert c.triggered
+
+    def test_release_idle_raises(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=1).release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestFifoStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        st = FifoStore(sim)
+        st.put("a")
+        got = st.get()
+        assert got.triggered and got.value == "a"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        st = FifoStore(sim)
+        got = st.get()
+        assert not got.triggered
+        st.put("x")
+        assert got.value == "x"
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        st = FifoStore(sim)
+        for item in (1, 2, 3):
+            st.put(item)
+        assert [st.get().value for _ in range(3)] == [1, 2, 3]
+
+    def test_capacity_nonblocking_rejects(self):
+        sim = Simulator()
+        st = FifoStore(sim, capacity=1, block_on_full=False)
+        assert st.try_put("a")
+        assert not st.try_put("b")
+        assert st.rejected_puts == 1
+
+    def test_capacity_blocking_put_waits(self):
+        sim = Simulator()
+        st = FifoStore(sim, capacity=1)
+        st.put("a")
+        pending = st.put("b")
+        assert not pending.triggered
+        got = st.get()
+        assert got.value == "a"
+        assert pending.triggered
+        assert st.get().value == "b"
+
+    def test_nonblocking_full_put_fails_event(self):
+        sim = Simulator(crash_on_process_error=False)
+        st = FifoStore(sim, capacity=1, block_on_full=False)
+        st.put("a")
+
+        def prog():
+            try:
+                yield st.put("b")
+            except StoreFull:
+                return "full"
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.value == "full"
+
+    def test_drain(self):
+        sim = Simulator()
+        st = FifoStore(sim)
+        st.put(1)
+        st.put(2)
+        assert st.drain() == [1, 2]
+        assert len(st) == 0

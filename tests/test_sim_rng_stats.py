@@ -1,0 +1,119 @@
+"""Unit tests for random streams and measurement primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import Counter, Histogram, MetricSet, Sampler, Timer
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = [RandomStreams(7).random("x") for _ in range(1)]
+        b = [RandomStreams(7).random("x") for _ in range(1)]
+        assert a == b
+
+    def test_streams_are_independent_of_access_order(self):
+        r1 = RandomStreams(7)
+        first_then_second = (r1.random("a"), r1.random("b"))
+        r2 = RandomStreams(7)
+        second_then_first = (r2.random("b"), r2.random("a"))
+        assert first_then_second[0] == second_then_first[1]
+        assert first_then_second[1] == second_then_first[0]
+
+    def test_different_names_differ(self):
+        r = RandomStreams(7)
+        assert r.random("a") != r.random("b")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_any_seed_name_pair_is_stable(self, seed, name):
+        assert (RandomStreams(seed).random(name)
+                == RandomStreams(seed).random(name))
+
+    def test_randint_bounds(self):
+        r = RandomStreams(3)
+        for _ in range(100):
+            assert 5 <= r.randint("k", 5, 9) <= 9
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        c = Counter("c")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+
+class TestTimer:
+    def test_aggregates(self):
+        t = Timer("t")
+        for v in (10, 20, 30):
+            t.record(v)
+        assert t.count == 3
+        assert t.total == 60
+        assert t.mean == 20
+        assert t.min == 10 and t.max == 30
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timer("t").record(-1)
+
+    def test_empty_mean_is_zero(self):
+        assert Timer("t").mean == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+    def test_mean_between_min_and_max(self, values):
+        t = Timer("t")
+        for v in values:
+            t.record(v)
+        assert t.min <= t.mean <= t.max
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", [10, 100])
+        for v in (5, 50, 500):
+            h.record(v)
+        assert h.counts == [1, 1, 1]
+        assert h.total == 3
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [100, 10])
+
+    def test_boundary_value_goes_low(self):
+        h = Histogram("h", [10])
+        h.record(10)
+        assert h.counts == [1, 0]
+
+
+class TestSampler:
+    def test_mean_and_max(self):
+        s = Sampler("s")
+        for i, v in enumerate((10.0, 20.0, 30.0)):
+            s.record(i, v)
+        assert s.mean == 20.0
+        assert s.max == 30.0
+        assert s.count == 3
+
+    def test_empty_sampler(self):
+        s = Sampler("s")
+        assert s.mean == 0.0 and s.max == 0.0
+
+
+class TestMetricSet:
+    def test_lazy_creation_and_reuse(self):
+        m = MetricSet("m")
+        assert m.counter("a") is m.counter("a")
+        assert m.timer("b") is m.timer("b")
+        assert m.sampler("c") is m.sampler("c")
+
+    def test_snapshot_flattens(self):
+        m = MetricSet("m")
+        m.counter("hits").add(3)
+        m.timer("lat").record(100)
+        snap = m.snapshot()
+        assert snap["hits.count"] == 3
+        assert snap["lat.mean_ns"] == 100

@@ -1,0 +1,104 @@
+"""Tests for the event-tracing utility."""
+
+import pytest
+
+from repro.core.hive import boot_hive
+from repro.core.kfaults import CORRUPT_OFF_BY_ONE_WORD, KernelFaultInjector
+from repro.hardware.faults import FaultInjector
+from repro.hardware.machine import MachineConfig
+from repro.sim.engine import Simulator
+from repro.sim.trace import (
+    CAT_DETECT,
+    CAT_FAULT,
+    CAT_PROC,
+    CAT_RECOVER,
+    NULL_TRACE,
+    TraceLog,
+    attach_tracing,
+)
+
+from tests.helpers import run_program
+
+
+class TestTraceLog:
+    def test_emit_and_select(self):
+        log = TraceLog()
+        log.emit(100, "a", 0, "first")
+        log.emit(200, "b", 1, "second")
+        assert len(log.select()) == 2
+        assert [e.message for e in log.select(category="a")] == ["first"]
+        assert [e.message for e in log.select(cell=1)] == ["second"]
+        assert [e.message for e in log.select(since_ns=150)] == ["second"]
+
+    def test_category_filter(self):
+        log = TraceLog(categories=["a"])
+        log.emit(0, "a", None, "kept")
+        log.emit(0, "b", None, "dropped")
+        assert len(log.events) == 1
+
+    def test_capacity_bound(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.emit(i, "a", None, str(i))
+        assert len(log.events) == 2
+        assert log.dropped == 3
+
+    def test_render_format(self):
+        log = TraceLog()
+        log.emit(1_500_000, "fault", 3, "boom")
+        text = log.render()
+        assert "1.500 ms" in text
+        assert "cell 3" in text and "boom" in text
+
+    def test_null_trace_is_inert(self):
+        NULL_TRACE.emit(0, "x", None, "ignored")
+        assert not NULL_TRACE.wants("x")
+
+    def test_counts_by_category(self):
+        log = TraceLog()
+        log.emit(0, "a", None, "")
+        log.emit(0, "a", None, "")
+        log.emit(0, "b", None, "")
+        assert log.counts_by_category() == {"a": 2, "b": 1}
+
+
+class TestSystemTracing:
+    def test_fault_timeline_recorded(self):
+        sim = Simulator()
+        hive = boot_hive(sim, num_cells=4,
+                         machine_config=MachineConfig(seed=9))
+        log = attach_tracing(hive)
+        hive.injector.inject_at(50_000_000, FaultInjector.NODE_FAILURE, 3)
+        sim.run(until=sim.now + 2_000_000_000)
+        assert log.select(category=CAT_FAULT)
+        assert log.select(category=CAT_DETECT)
+        recover = log.select(category=CAT_RECOVER)
+        assert recover and "dead=[3]" in recover[0].message
+        # The timeline is ordered.
+        times = [e.time_ns for e in log.events]
+        assert times == sorted(times)
+
+    def test_panic_traced(self):
+        sim = Simulator()
+        hive = boot_hive(sim, num_cells=4,
+                         machine_config=MachineConfig(seed=9))
+        log = attach_tracing(hive)
+        out = {}
+
+        def prog(ctx):
+            region = yield from ctx.map_anon(32)
+            for i in range(32):
+                yield from ctx.touch(region, i, write=True)
+                yield from ctx.compute(10_000_000)
+            out["late"] = True
+
+        cell = hive.cell(2)
+        proc = cell.create_process("victim")
+        cell.start_thread(proc, prog)
+        sim.run(until=sim.now + 20_000_000)
+        KernelFaultInjector(hive).corrupt_address_map(
+            2, CORRUPT_OFF_BY_ONE_WORD, wild_writes=0)
+        sim.run(until=sim.now + 2_000_000_000)
+        panics = [e for e in log.select(category=CAT_PROC)
+                  if "PANIC" in e.message]
+        assert panics and panics[0].cell == 2

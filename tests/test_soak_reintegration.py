@@ -1,0 +1,116 @@
+"""Soak test: repeated fail + reintegrate cycles under a live mix.
+
+The long-running-system scenario the paper motivates ("scheduled hardware
+maintenance and kernel software upgrades can proceed transparently to
+applications, one cell at a time"): cells are killed and rebooted in
+rotation while a synthetic multiprogrammed workload runs, and after every
+cycle the whole system must satisfy the consistency invariants.
+"""
+
+import pytest
+
+from repro.core.hive import boot_hive
+from repro.core.invariants import check_system
+from repro.hardware.machine import MachineConfig
+from repro.sim.engine import Simulator
+from repro.workloads.base import Platform
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+from tests.helpers import run_program
+
+
+class TestSyntheticWorkload:
+    def _platform(self, seed=1):
+        sim = Simulator()
+        hive = boot_hive(sim, num_cells=4,
+                         machine_config=MachineConfig(seed=seed))
+        for i, d in enumerate(("/synth/a", "/synth/b", "/synth/c")):
+            hive.namespace.mount(d, (i + 1) % 4)
+        return Platform(hive)
+
+    def test_mix_completes_and_verifies(self):
+        platform = self._platform()
+        workload = SyntheticWorkload(SyntheticConfig(jobs=6,
+                                                     rounds_per_job=8))
+        result = workload.run(platform)
+        assert result.jobs_completed == 6
+        assert result.outputs_ok, result.output_errors[:3]
+        # The mix actually exercised several op kinds.
+        assert len([op for op, n in workload.ops_run.items() if n]) >= 3
+
+    def test_replays_identically(self):
+        def run_once():
+            platform = self._platform(seed=9)
+            workload = SyntheticWorkload(SyntheticConfig(jobs=4,
+                                                         rounds_per_job=6))
+            result = workload.run(platform)
+            return (result.elapsed_ns, tuple(sorted(workload.ops_run.items())))
+
+        assert run_once() == run_once()
+
+    def test_weights_shift_the_mix(self):
+        platform = self._platform()
+        cfg = SyntheticConfig(jobs=4, rounds_per_job=10,
+                              w_file_write=0.0, w_file_read=0.0,
+                              w_fork_child=0.0, w_anon_touch=1.0,
+                              w_noop=0.0)
+        workload = SyntheticWorkload(cfg)
+        workload.run(platform)
+        assert workload.ops_run.get("anon_touch", 0) >= 30
+        assert "file_write" not in workload.ops_run
+
+
+class TestReintegrationSoak:
+    def test_rolling_cell_reboots_under_load(self):
+        """Kill cells 3, 2, 1 in rotation (each reintegrating before the
+        next failure) while synthetic jobs run; invariants must hold at
+        every step and the final system is whole again."""
+        sim = Simulator()
+        hive = boot_hive(sim, num_cells=4,
+                         machine_config=MachineConfig(seed=31),
+                         reintegrate=True)
+        for i, d in enumerate(("/synth/a", "/synth/b", "/synth/c")):
+            hive.namespace.mount(d, 0)  # keep files on the stable cell
+        platform = Platform(hive)
+        workload = SyntheticWorkload(SyntheticConfig(
+            jobs=4, rounds_per_job=60, compute_per_round_ns=40_000_000))
+
+        threads = []
+        results: dict = {}
+        for job in range(workload.config.jobs):
+            _p, t = platform.spawn_init(
+                job, workload.job_program(job, results), f"soak{job}")
+            threads.append(t.sim_process)
+
+        for cycle, victim in enumerate((3, 2, 1)):
+            sim.run(until=sim.now + 500_000_000)
+            hive.machine.halt_node(victim)
+            # Detection + recovery + diagnostics + reboot.
+            sim.run(until=sim.now + 4_000_000_000)
+            assert hive.registry.is_live(victim), \
+                f"cycle {cycle}: cell {victim} did not reintegrate"
+            problems = check_system(hive)
+            assert problems == [], f"cycle {cycle}: {problems[:3]}"
+
+        sim.run_until_event(sim.all_of(threads),
+                            deadline=sim.now + 600_000_000_000)
+        assert hive.registry.live_cell_ids() == [0, 1, 2, 3]
+        assert hive.registry.reboots == 3
+        # Job 0 ran on the never-killed cell and must have completed.
+        assert 0 in results
+        assert check_system(hive) == []
+
+    def test_wax_survives_rolling_reboots(self):
+        sim = Simulator()
+        hive = boot_hive(sim, num_cells=4,
+                         machine_config=MachineConfig(seed=33),
+                         reintegrate=True, with_wax=True)
+        for victim in (3, 2):
+            sim.run(until=sim.now + 400_000_000)
+            hive.machine.halt_node(victim)
+            sim.run(until=sim.now + 4_000_000_000)
+        wax = hive.registry.wax
+        assert wax.restarts >= 2
+        sim.run(until=sim.now + 300_000_000)
+        # The final incarnation spans the whole (reintegrated) machine.
+        assert set(wax.snapshot) == {0, 1, 2, 3}

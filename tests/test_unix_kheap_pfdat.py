@@ -1,0 +1,195 @@
+"""Unit and property tests for the kernel heap and pfdat tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.unix.kheap import KOBJ_ALIGN, KernelHeap, KObject
+from repro.unix.pfdat import NoFreeFrames, Pfdat, PfdatTable
+
+
+class Obj(KObject):
+    pass
+
+
+class TestKernelHeap:
+    def make(self):
+        return KernelHeap(cell_id=0, base_addr=0x10000, size=0x4000)
+
+    def test_alloc_assigns_aligned_address_and_tag(self):
+        heap = self.make()
+        obj = Obj()
+        addr = heap.alloc(obj, "widget")
+        assert addr % KOBJ_ALIGN == 0
+        assert heap.resolve(addr) == ("widget", obj)
+        assert obj.ktype == "widget"
+
+    def test_free_removes_tag(self):
+        heap = self.make()
+        obj = Obj()
+        addr = heap.alloc(obj, "widget")
+        heap.free(obj)
+        assert heap.resolve(addr) is None
+        assert obj.kaddr == 0
+
+    def test_freed_slots_are_reused(self):
+        heap = self.make()
+        a = Obj()
+        addr = heap.alloc(a, "t")
+        heap.free(a)
+        b = Obj()
+        assert heap.alloc(b, "t") == addr
+
+    def test_double_alloc_rejected(self):
+        heap = self.make()
+        obj = Obj()
+        heap.alloc(obj, "t")
+        with pytest.raises(ValueError):
+            heap.alloc(obj, "t")
+
+    def test_double_free_rejected(self):
+        heap = self.make()
+        obj = Obj()
+        heap.alloc(obj, "t")
+        heap.free(obj)
+        with pytest.raises(ValueError):
+            heap.free(obj)
+
+    def test_exhaustion(self):
+        heap = KernelHeap(0, 0x10000, KOBJ_ALIGN * 2)
+        heap.alloc(Obj(), "t")
+        heap.alloc(Obj(), "t")
+        with pytest.raises(MemoryError):
+            heap.alloc(Obj(), "t")
+
+    def test_contains(self):
+        heap = self.make()
+        assert heap.contains(0x10000)
+        assert not heap.contains(0x10000 + 0x4000)
+
+    def test_misaligned_resolve_finds_nothing(self):
+        heap = self.make()
+        addr = heap.alloc(Obj(), "t")
+        assert heap.resolve(addr + 8) is None
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_live_object_accounting(self, ops):
+        """Property: live_objects == allocs - frees at every step."""
+        heap = KernelHeap(0, 0x10000, 0x10000)
+        live = []
+        for do_alloc in ops:
+            if do_alloc or not live:
+                obj = Obj()
+                heap.alloc(obj, "t")
+                live.append(obj)
+            else:
+                heap.free(live.pop())
+            assert heap.live_objects == len(live)
+            assert heap.live_objects == heap.allocs - heap.frees
+
+
+class TestPfdatTable:
+    def make(self, nframes=16):
+        return PfdatTable(range(100, 100 + nframes))
+
+    def test_alloc_free_roundtrip(self):
+        t = self.make()
+        pf = t.alloc_frame()
+        assert pf.frame in t.owned_frames
+        assert not pf.on_free_list
+        t.free_frame(pf)
+        assert pf.on_free_list
+
+    def test_hash_insert_lookup_remove(self):
+        t = self.make()
+        pf = t.alloc_frame()
+        lid = (("file", 1, 2), 7)
+        t.insert(pf, lid)
+        assert t.lookup(lid) is pf
+        assert pf.valid
+        t.remove(pf)
+        assert t.lookup(lid) is None
+        assert pf.logical_id is None
+
+    def test_duplicate_logical_id_rejected(self):
+        t = self.make()
+        a, b = t.alloc_frame(), t.alloc_frame()
+        lid = (("file", 1, 2), 0)
+        t.insert(a, lid)
+        with pytest.raises(ValueError):
+            t.insert(b, lid)
+
+    def test_rebinding_bound_pfdat_rejected(self):
+        t = self.make()
+        pf = t.alloc_frame()
+        t.insert(pf, (("file", 1, 2), 0))
+        with pytest.raises(ValueError):
+            t.insert(pf, (("file", 1, 2), 1))
+
+    def test_exhaustion_raises(self):
+        t = self.make(nframes=2)
+        t.alloc_frame()
+        t.alloc_frame()
+        with pytest.raises(NoFreeFrames):
+            t.alloc_frame()
+
+    def test_free_with_references_rejected(self):
+        t = self.make()
+        pf = t.alloc_frame()
+        pf.refcount = 1
+        with pytest.raises(ValueError):
+            t.free_frame(pf)
+
+    def test_extended_pfdat_lifecycle(self):
+        t = self.make()
+        ext = t.alloc_extended(9999)  # a frame we do not own
+        assert ext.extended
+        lid = (("file", 3, 4), 1)
+        t.insert(ext, lid)
+        assert t.lookup(lid) is ext
+        t.release_extended(ext)
+        assert t.lookup(lid) is None
+        assert t.by_frame(9999) is None
+
+    def test_extended_for_owned_frame_rejected(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.alloc_extended(100)
+
+    def test_extended_cannot_be_freed_like_local(self):
+        t = self.make()
+        ext = t.alloc_extended(9999)
+        with pytest.raises(ValueError):
+            t.free_frame(ext)
+
+    def test_loan_reserve_return(self):
+        t = self.make()
+        pf = t.alloc_frame()
+        t.move_to_reserved(pf, borrower=2)
+        assert pf.loaned_to == 2
+        assert t.loaned_frames_to(2) == [pf]
+        back = t.return_from_reserved(pf.frame)
+        assert back is pf and pf.loaned_to is None
+
+    def test_hit_metrics(self):
+        t = self.make()
+        pf = t.alloc_frame()
+        t.insert(pf, (("file", 1, 1), 0))
+        t.lookup((("file", 1, 1), 0))
+        t.lookup((("file", 1, 1), 99))
+        assert t.lookups == 2 and t.hits == 1
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=40, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_hash_bijection_property(self, offsets):
+        """Property: every inserted id maps back to its own pfdat."""
+        t = PfdatTable(range(200, 200 + 64))
+        bound = {}
+        for off in offsets:
+            pf = t.alloc_frame()
+            lid = (("file", 0, 1), off)
+            t.insert(pf, lid)
+            bound[lid] = pf
+        for lid, pf in bound.items():
+            assert t.lookup(lid) is pf
+            assert pf.logical_id == lid

@@ -1,0 +1,124 @@
+"""Unit tests for the scheduler and address-space structures."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.unix.address_space import (
+    ANON_REGION,
+    FILE_REGION,
+    AddressSpace,
+    Pte,
+    Region,
+)
+from repro.unix.costs import KernelCosts
+from repro.unix.errors import BadAddressError
+from repro.unix.sched import Scheduler
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(Simulator(), [0, 1], KernelCosts())
+
+
+class TestScheduler:
+    def test_grants_distinct_cpus(self, sched):
+        a = sched.acquire()
+        b = sched.acquire()
+        assert {a.value, b.value} == {0, 1}
+        assert sched.free_count == 0
+
+    def test_waiter_fifo(self, sched):
+        a, b = sched.acquire(), sched.acquire()
+        c = sched.acquire()
+        d = sched.acquire()
+        assert not c.triggered
+        sched.release(a.value)
+        assert c.triggered and not d.triggered
+        sched.release(b.value)
+        assert d.triggered
+
+    def test_release_foreign_cpu_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.release(99)
+
+    def test_reservation_excludes_other_pids(self, sched):
+        sched.reserve_cpus(pid=7, cpus={0, 1})
+        assert sched.try_acquire(pid=9) is None
+        assert sched.try_acquire(pid=7) is not None
+
+    def test_release_reservation_wakes_waiters(self, sched):
+        sched.reserve_cpus(pid=7, cpus={0, 1})
+        waiting = sched.acquire(pid=9)
+        assert not waiting.triggered
+        sched.release_reservation(7)
+        assert waiting.triggered
+
+    def test_reserve_foreign_cpu_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.reserve_cpus(pid=7, cpus={5})
+
+    def test_remove_cpu_on_node_failure(self, sched):
+        sched.remove_cpu(0)
+        assert sched.cpu_ids == [1]
+        a = sched.try_acquire()
+        assert a == 1
+
+    def test_empty_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(Simulator(), [], KernelCosts())
+
+
+class TestAddressSpace:
+    def make(self):
+        return AddressSpace(home_cell=0)
+
+    def test_allocate_range_non_overlapping(self):
+        a = self.make()
+        r1 = a.add_region(Region(a.allocate_range(10), 10, ANON_REGION, True))
+        r2 = a.add_region(Region(a.allocate_range(5), 5, ANON_REGION, True))
+        assert r1.end_vpn <= r2.start_vpn or r2.end_vpn <= r1.start_vpn
+
+    def test_overlap_rejected(self):
+        a = self.make()
+        a.add_region(Region(100, 10, ANON_REGION, True))
+        with pytest.raises(ValueError):
+            a.add_region(Region(105, 10, ANON_REGION, True))
+
+    def test_region_for_lookup(self):
+        a = self.make()
+        region = a.add_region(Region(100, 10, FILE_REGION, False))
+        assert a.region_for(104) is region
+        with pytest.raises(BadAddressError):
+            a.region_for(50)
+
+    def test_zero_page_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, ANON_REGION, True)
+
+    def test_pte_map_per_cell(self):
+        a = self.make()
+        a.map_page(0, 100, Pte(frame=1, writable=True, data_home=0))
+        a.map_page(2, 100, Pte(frame=9, writable=True, data_home=2))
+        assert a.lookup_pte(0, 100).frame == 1
+        assert a.lookup_pte(2, 100).frame == 9
+        assert a.mapped_count(0) == 1
+
+    def test_remote_mappings_filter(self):
+        a = self.make()
+        a.map_page(0, 100, Pte(frame=1, writable=True, data_home=0))
+        a.map_page(0, 101, Pte(frame=2, writable=True, data_home=3))
+        remote = a.remote_mappings(0)
+        assert [vpn for vpn, _ in remote] == [101]
+
+    def test_unmap_all(self):
+        a = self.make()
+        a.map_page(0, 100, Pte(frame=1, writable=True))
+        a.map_page(0, 101, Pte(frame=2, writable=True))
+        dropped = a.unmap_all(0)
+        assert len(dropped) == 2
+        assert a.mapped_count(0) == 0
+
+    def test_file_page_index(self):
+        region = Region(100, 10, FILE_REGION, False)
+        region.file_page_base = 5
+        assert region.file_page_index(103) == 8
