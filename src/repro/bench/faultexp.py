@@ -115,10 +115,13 @@ class FaultExperimentRunner:
 
     def __init__(self, agreement: str = "oracle",
                  victim_cell: int = DEFAULT_VICTIM,
-                 wild_writes: int = 0):
+                 wild_writes: int = 0, on_boot=None):
         self.agreement = agreement
         self.victim_cell = victim_cell
         self.wild_writes = wild_writes
+        #: called with each freshly booted HiveSystem before the trial
+        #: starts — the hook telemetry uses to attach a flight recorder.
+        self.on_boot = on_boot
 
     # -- system assembly -------------------------------------------------
 
@@ -140,6 +143,8 @@ class FaultExperimentRunner:
         if scenario not in ALL_SCENARIOS:
             raise ValueError(f"unknown scenario {scenario!r}")
         system = self._boot(seed)
+        if self.on_boot is not None:
+            self.on_boot(system)
         sim = system.sim
         platform = Platform(system)
         workload_name = PAPER_TABLE_7_4[scenario][0]

@@ -4,14 +4,22 @@ Usage::
 
     python -m repro run pmake --cells 4
     python -m repro run ocean --irix
+    python -m repro run pmake --telemetry-out /tmp/telemetry
     python -m repro micro
     python -m repro inject hw_random --trials 3
     python -m repro inject sw_cow_tree --agreement voting
+    python -m repro trace pmake
+    python -m repro metrics raytrace
 
 ``run`` executes one of the paper's workloads on a chosen configuration
 and prints the elapsed simulated time and health counters; ``micro``
 prints the microbenchmark anchors against the paper's values; ``inject``
-runs Table 7.4 fault-injection trials and reports containment.
+runs Table 7.4 fault-injection trials and reports containment; ``trace``
+runs a workload under the flight recorder and prints the span summary;
+``metrics`` prints the per-cell per-subsystem metrics snapshot.
+``--telemetry-out DIR`` on run/inject/micro additionally writes the
+machine-readable artifacts (JSONL spans, Chrome trace, metrics snapshot,
+fault timeline, ``BENCH_pr2.json``).
 """
 
 from __future__ import annotations
@@ -30,6 +38,14 @@ from repro.core.hive import boot_hive, boot_irix
 from repro.core.invariants import check_system
 from repro.hardware.machine import MachineConfig
 from repro.hardware.params import HardwareParams
+from repro.obs import (
+    attach_flight_recorder,
+    render_fault_timeline,
+    render_snapshot,
+    snapshot_system,
+    write_bench_summary,
+    write_telemetry,
+)
 from repro.sim.engine import Simulator
 from repro.workloads import (
     OceanWorkload,
@@ -59,8 +75,7 @@ def _build_platform(args) -> Platform:
                                                         seed=args.seed),
                            agreement=args.agreement,
                            with_wax=args.wax)
-    namespace = (target.namespace if not args.irix
-                 else target.namespace)
+    namespace = target.namespace
     namespace.mount("/tmp", 1 % args.nodes)
     namespace.mount("/usr", 2 % args.nodes)
     namespace.mount("/results", 0)
@@ -69,7 +84,14 @@ def _build_platform(args) -> Platform:
 
 def cmd_run(args) -> int:
     workload_cls = WORKLOADS[args.workload]
+    if args.telemetry_out and args.irix:
+        print("error: --telemetry-out requires a Hive configuration "
+              "(the flight recorder instruments cells)", file=sys.stderr)
+        return 2
     platform = _build_platform(args)
+    recorder = None
+    if args.telemetry_out:
+        recorder = attach_flight_recorder(platform.target)
     config = "IRIX" if args.irix else f"{args.cells}-cell Hive"
     print(f"running {args.workload} on {config} "
           f"({args.nodes} nodes, seed {args.seed})...")
@@ -87,49 +109,116 @@ def cmd_run(args) -> int:
               f"{'clean' if not problems else problems}")
         if problems:
             return 1
+    if recorder is not None:
+        bench = {
+            "command": "run",
+            "workload": args.workload,
+            "cells": args.cells,
+            "nodes": args.nodes,
+            "seed": args.seed,
+            "elapsed_s": result.elapsed_s,
+            "jobs_completed": result.jobs_completed,
+            "jobs_failed": result.jobs_failed,
+            "outputs_ok": result.outputs_ok,
+            "spans": len(recorder.spans),
+            "events": len(recorder.events),
+            "spans_dropped": recorder.spans_dropped,
+            "events_dropped": recorder.events_dropped,
+        }
+        paths = write_telemetry(args.telemetry_out, recorder,
+                                platform.target, bench=bench)
+        print(f"telemetry written   : {args.telemetry_out} "
+              f"({', '.join(sorted(paths))})")
     return 0 if result.outputs_ok and result.jobs_failed == 0 else 1
 
 
-def cmd_micro(args) -> int:
-    from repro.workloads.micro import (
-        boot_two_cell,
-        measure_careful_reference,
-        measure_file_ops,
-        measure_page_fault,
-        measure_rpc,
-    )
+def _run_traced(args):
+    """Boot a Hive, attach the recorder, run the workload; no fault."""
+    workload_cls = WORKLOADS[args.workload]
+    platform = _build_platform(args)
+    recorder = attach_flight_recorder(platform.target)
+    result = workload_cls().run(platform)
+    return platform.target, recorder, result
 
+
+def cmd_trace(args) -> int:
+    system, recorder, result = _run_traced(args)
+    counts = recorder.counts_by_category()
+    print(f"{args.workload} on {args.cells}-cell Hive "
+          f"(seed {args.seed}): {result.elapsed_s:.3f} s simulated, "
+          f"{len(recorder.spans)} spans, {len(recorder.events)} events")
+    print()
+    print("records by subsystem:")
+    for category in sorted(counts):
+        print(f"  {category:>10}: {counts[category]}")
+    by_name = {}
+    for span in recorder.spans:
+        entry = by_name.setdefault(span.name, [0, 0])
+        entry[0] += 1
+        if span.end_ns is not None:
+            entry[1] += span.end_ns - span.start_ns
+    print()
+    print("spans by name (count, total simulated time):")
+    for name in sorted(by_name):
+        count, total = by_name[name]
+        print(f"  {name:<22} {count:>7}  {total / 1e6:12.3f} ms")
+    print()
+    print(render_fault_timeline(recorder))
+    if recorder.spans_dropped or recorder.events_dropped:
+        print(f"(ring buffer dropped {recorder.spans_dropped} spans, "
+              f"{recorder.events_dropped} events)")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    system, recorder, result = _run_traced(args)
+    print(render_snapshot(snapshot_system(system)))
+    return 0
+
+
+def cmd_micro(args) -> int:
+    from repro.workloads.micro import collect_anchors
+
+    anchors = collect_anchors(args.seed)
     table = ComparisonTable("Microbenchmark anchors (paper vs measured)")
-    local = measure_page_fault(boot_two_cell(args.seed), remote=False,
-                               nfaults=128)
-    remote = measure_page_fault(boot_two_cell(args.seed), remote=True,
-                                nfaults=128)
-    table.add("local page fault", 6.9, round(local["mean_ns"] / 1e3, 2),
-              "us")
-    table.add("remote page fault", 50.7,
-              round(remote["mean_ns"] / 1e3, 2), "us")
-    system = boot_two_cell(args.seed)
-    table.add("null RPC", 7.2,
-              round(measure_rpc(system)["mean_ns"] / 1e3, 2), "us")
-    table.add("null queued RPC", 34.0,
-              round(measure_rpc(system, queued=True)["mean_ns"] / 1e3, 2),
-              "us")
-    table.add("careful reference", 1.16,
-              round(measure_careful_reference(system)["mean_ns"] / 1e3, 3),
-              "us")
-    ops = measure_file_ops(boot_two_cell(args.seed), remote=False)
-    table.add("open (local)", 148, round(ops["open_ns"] / 1e3, 1), "us")
-    table.add("4 MB read (local)", 65.0,
-              round(ops["read4mb_ns"] / 1e6, 1), "ms")
+    labels = {
+        "local_page_fault": "local page fault",
+        "remote_page_fault": "remote page fault",
+        "null_rpc": "null RPC",
+        "null_queued_rpc": "null queued RPC",
+        "careful_reference": "careful reference",
+        "open_local": "open (local)",
+        "read_4mb_local": "4 MB read (local)",
+    }
+    for key, label in labels.items():
+        entry = anchors[key]
+        table.add(label, entry["paper"], entry["measured"], entry["unit"])
     table.print()
+    if args.telemetry_out:
+        import os
+        os.makedirs(args.telemetry_out, exist_ok=True)
+        bench = {"command": "micro", "seed": args.seed, "anchors": anchors}
+        path = os.path.join(args.telemetry_out, "BENCH_pr2.json")
+        write_bench_summary(path, bench)
+        print(f"anchors written to {path}")
     return 0
 
 
 def cmd_inject(args) -> int:
-    runner = FaultExperimentRunner(agreement=args.agreement)
+    telemetry = {"recorder": None, "system": None}
+
+    def on_boot(system) -> None:
+        # Fresh recorder per trial so each telemetry dump is one trial.
+        telemetry["recorder"] = attach_flight_recorder(system)
+        telemetry["system"] = system
+
+    runner = FaultExperimentRunner(
+        agreement=args.agreement,
+        on_boot=on_boot if args.telemetry_out else None)
     scenarios = (list(ALL_SCENARIOS) if args.scenario == "all"
                  else [args.scenario])
     failures = 0
+    scenario_payload = {}
     for scenario in scenarios:
         workload, _n, avg, mx = PAPER_TABLE_7_4[scenario]
         summary = runner.run_scenario(scenario, args.trials,
@@ -145,6 +234,32 @@ def cmd_inject(args) -> int:
             if not trial.contained:
                 print(f"   NOT CONTAINED (seed {trial.seed}): "
                       f"{trial.notes}")
+        have_latencies = bool(summary.latencies_ms)
+        scenario_payload[scenario] = {
+            "workload": workload,
+            "trials": len(summary.trials),
+            "contained": summary.contained_count,
+            "detection_avg_ms": (summary.avg_latency_ms
+                                 if have_latencies else None),
+            "detection_max_ms": (summary.max_latency_ms
+                                 if have_latencies else None),
+            "paper_avg_ms": avg,
+            "paper_max_ms": mx,
+            "latencies_ms": summary.latencies_ms,
+        }
+        if args.telemetry_out and telemetry["recorder"] is not None:
+            import os
+            out_dir = os.path.join(args.telemetry_out, scenario)
+            write_telemetry(out_dir, telemetry["recorder"],
+                            telemetry["system"])
+            print(f"   telemetry (last trial) written to {out_dir}")
+    if args.telemetry_out:
+        import os
+        os.makedirs(args.telemetry_out, exist_ok=True)
+        bench = {"command": "inject", "agreement": args.agreement,
+                 "seed": args.seed, "scenarios": scenario_payload}
+        write_bench_summary(
+            os.path.join(args.telemetry_out, "BENCH_pr2.json"), bench)
     return 1 if failures else 0
 
 
@@ -157,23 +272,50 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--seed", type=int, default=1995)
 
+    def telemetry(p):
+        p.add_argument("--telemetry-out", metavar="DIR", default=None,
+                       help="write machine-readable telemetry "
+                            "(spans.jsonl, trace.json, metrics.json, "
+                            "timeline.txt, BENCH_pr2.json) into DIR")
+
+    def hive_config(p):
+        p.add_argument("--cells", type=int, default=4)
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--cpus-per-node", type=int, default=1)
+        p.add_argument("--agreement", choices=["voting", "oracle"],
+                       default="voting")
+
     p_run = sub.add_parser("run", help="run a paper workload")
     p_run.add_argument("workload", choices=sorted(WORKLOADS))
-    p_run.add_argument("--cells", type=int, default=4)
-    p_run.add_argument("--nodes", type=int, default=4)
-    p_run.add_argument("--cpus-per-node", type=int, default=1)
+    hive_config(p_run)
     p_run.add_argument("--irix", action="store_true",
                        help="run on the IRIX baseline instead of Hive")
     p_run.add_argument("--wax", action="store_true",
                        help="boot with the Wax policy process")
-    p_run.add_argument("--agreement", choices=["voting", "oracle"],
-                       default="voting")
     common(p_run)
+    telemetry(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload under the flight recorder and "
+                      "print the span summary + timeline")
+    p_trace.add_argument("workload", choices=sorted(WORKLOADS))
+    hive_config(p_trace)
+    common(p_trace)
+    p_trace.set_defaults(fn=cmd_trace, irix=False, wax=False)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a workload and print the per-cell "
+                        "per-subsystem metrics snapshot")
+    p_metrics.add_argument("workload", choices=sorted(WORKLOADS))
+    hive_config(p_metrics)
+    common(p_metrics)
+    p_metrics.set_defaults(fn=cmd_metrics, irix=False, wax=False)
 
     p_micro = sub.add_parser("micro",
                              help="print the microbenchmark anchors")
     common(p_micro)
+    telemetry(p_micro)
     p_micro.set_defaults(fn=cmd_micro)
 
     p_inject = sub.add_parser("inject",
@@ -184,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_inject.add_argument("--agreement", choices=["voting", "oracle"],
                           default="oracle")
     common(p_inject)
+    telemetry(p_inject)
     p_inject.set_defaults(fn=cmd_inject)
     return parser
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.hardware.errors import BusError
+from repro.obs.recorder import NULL_RECORDER, OBS_AGREEMENT
 from repro.unix.errors import RpcTimeout
 
 #: ping timeout while probing a suspect (short: an alive cell answers an
@@ -58,6 +59,8 @@ class VotingAgreement:
     def __init__(self, registry):
         self.registry = registry
         self.rounds_run = 0
+        #: flight recorder handle; replaced by attach_flight_recorder
+        self.obs = NULL_RECORDER
 
     def run(self, initiator: int, suspects: Set[int]) -> Generator:
         """Coroutine: returns an :class:`AgreementResult`."""
@@ -68,6 +71,10 @@ class VotingAgreement:
         while True:
             rounds += 1
             self.rounds_run += 1
+            if self.obs.enabled:
+                self.obs.event("agree.round", OBS_AGREEMENT,
+                               cell=initiator if initiator >= 0 else None,
+                               round=rounds, suspects=sorted(suspects))
             voters = [c for c in self.registry.live_cell_ids()
                       if c not in suspects]
             if not voters:
@@ -141,11 +148,17 @@ class OracleAgreement:
     def __init__(self, registry):
         self.registry = registry
         self.rounds_run = 0
+        #: flight recorder handle; replaced by attach_flight_recorder
+        self.obs = NULL_RECORDER
 
     def run(self, initiator: int, suspects: Set[int]) -> Generator:
         sim = self.registry.sim
         start = sim.now
         self.rounds_run += 1
+        if self.obs.enabled:
+            self.obs.event("agree.round", OBS_AGREEMENT,
+                           cell=initiator if initiator >= 0 else None,
+                           round=1, suspects=sorted(suspects))
         yield sim.timeout(self.ORACLE_LATENCY_NS)
         dead: Set[int] = set()
         for cell_id in self.registry.all_cell_ids():

@@ -85,15 +85,23 @@ class CarefulReader:
         shared location (here: its current value is produced by the
         owning cell object, the *memory traffic* by the coherence model).
         """
+        obs = self.cell.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin("careful.read_word", "careful",
+                             cell=self.cell.kernel_id,
+                             target=remote_cell_id)
         yield from self.careful_on(remote_cell_id)
         try:
             latency = self.cell.machine.coherence.read(
                 self.cell.cpu_ids[0], addr)
         except BusError as exc:
+            obs.end(span, outcome="bus_error")
             raise self._fail(remote_cell_id, "bus_error", str(exc))
         yield self.sim.timeout(latency)
         self.reads += 1
         yield from self.careful_off()
+        obs.end(span, outcome="ok")
         return None
 
     def read_object(self, remote_cell_id: int, addr: int,
@@ -106,10 +114,22 @@ class CarefulReader:
         not mutate it, mirroring the read-only discipline the paper's
         lookup algorithms obey).
         """
+        obs = self.cell.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin("careful.read_object", "careful",
+                             cell=self.cell.kernel_id,
+                             target=remote_cell_id, ktype=expected_type)
         yield from self.careful_on(remote_cell_id)
-        obj = yield from self._read_object_body(remote_cell_id, addr,
-                                                expected_type, copy_words)
+        try:
+            obj = yield from self._read_object_body(remote_cell_id, addr,
+                                                    expected_type,
+                                                    copy_words)
+        except CarefulReferenceFault as exc:
+            obs.end(span, outcome="fault", check=exc.check)
+            raise
         yield from self.careful_off()
+        obs.end(span, outcome="ok")
         return obj
 
     def _read_object_body(self, remote_cell_id: int, addr: int,

@@ -16,6 +16,8 @@ from repro.core.rpc import RpcSubsystem
 from repro.core.sharing import SharingMixin
 from repro.core.ssi import SsiMixin
 from repro.core.wildwrite import FirewallManager
+from repro.obs.recorder import OBS_RECOVERY
+from repro.sim.stats import MetricSet
 from repro.unix.address_space import ANON_REGION
 from repro.unix.kernel import GlobalNamespace, LocalKernel
 from repro.unix.process import SIGKILL
@@ -29,6 +31,13 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
                  filesystems=None, incarnation: int = 0):
         self.registry = registry
         self.incarnation = incarnation
+        # Per-subsystem metric registries, aggregated system-wide by
+        # repro.obs.metrics.snapshot_system.  Created before the kernel
+        # substrate so early RPC/detector wiring can record into them.
+        self.sharing_metrics = MetricSet(name=f"sharing{cell_id}")
+        self.firewall_metrics = MetricSet(name=f"firewall{cell_id}")
+        self.recovery_metrics = MetricSet(name=f"recovery{cell_id}")
+        self.detection_metrics = MetricSet(name=f"detect{cell_id}")
         super().__init__(sim, machine, cell_id, node_ids, namespace,
                          costs=costs)
         if filesystems is not None:
@@ -151,15 +160,24 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
     # ------------------------------------------------------------------
 
     def run_recovery(self, round_id: int, dead: Set[int],
-                     survivors: Set[int], barriers, record) -> Generator:
+                     survivors: Set[int], barriers, record,
+                     parent_span: int = 0) -> Generator:
         """This cell's half of the double-barrier recovery round."""
         self.in_recovery = True
         if self.recovery_done_event.triggered:
             self.recovery_done_event = self.sim.event(
                 f"c{self.kernel_id}.recovered")
-        self.recovery_entries.append(self.sim.now)
+        entered_ns = self.sim.now
+        self.recovery_entries.append(entered_ns)
+        obs = self.obs
+        cell_span = obs.begin("recovery.cell", OBS_RECOVERY,
+                              cell=self.kernel_id, parent=parent_span,
+                              round=round_id) if obs.enabled else None
 
         # -- pre-barrier-1: flush TLBs, remove remote mappings ----------
+        phase = obs.begin("recovery.flush", OBS_RECOVERY,
+                          cell=self.kernel_id, parent=cell_span,
+                          round=round_id) if obs.enabled else None
         yield self.sim.timeout(self.costs.tlb_flush_ns * len(self.cpu_ids))
         unmapped = 0
         for proc in list(self.processes.values()):
@@ -184,11 +202,21 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
         for pf in list(self.pfdats.reserved.values()):
             pf.imported_from = None
         yield self.sim.timeout(self.costs.unmap_page_ns * unmapped)
+        if phase is not None:
+            obs.end(phase, unmapped=unmapped)
 
+        phase = obs.begin("recovery.barrier1", OBS_RECOVERY,
+                          cell=self.kernel_id, parent=cell_span,
+                          round=round_id) if obs.enabled else None
         ev = barriers.join((round_id, 1), self.kernel_id, survivors)
         yield ev
         yield self.sim.timeout(self.costs.barrier_round_ns)
+        if phase is not None:
+            obs.end(phase)
 
+        phase = obs.begin("recovery.cleanup", OBS_RECOVERY,
+                          cell=self.kernel_id, parent=cell_span,
+                          round=round_id) if obs.enabled else None
         # -- post-barrier-1: firewall revocation + preemptive discard ----
         # No further valid page faults or remote accesses are pending.
         # The VM cleanup walks the whole pfdat table twice (detecting
@@ -204,15 +232,29 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
         record.discarded_pages += discarded
         self._resolve_dead_children(dead)
         yield self.sim.timeout(self.costs.recovery_fixed_ns)
+        if phase is not None:
+            obs.end(phase, discarded=discarded, killed=killed)
 
+        phase = obs.begin("recovery.barrier2", OBS_RECOVERY,
+                          cell=self.kernel_id, parent=cell_span,
+                          round=round_id) if obs.enabled else None
         ev = barriers.join((round_id, 2), self.kernel_id, survivors)
         yield ev
         yield self.sim.timeout(self.costs.barrier_round_ns)
+        if phase is not None:
+            obs.end(phase)
 
         self.in_recovery = False
         if not self.recovery_done_event.triggered:
             self.recovery_done_event.succeed()
         self.metrics.counter("recoveries").add()
+        self.recovery_metrics.counter("rounds").add()
+        self.recovery_metrics.counter("pages_discarded").add(discarded)
+        self.recovery_metrics.counter("procs_killed").add(killed)
+        self.recovery_metrics.histogram("duration_ns").record(
+            self.sim.now - entered_ns)
+        if cell_span is not None:
+            obs.end(cell_span, discarded=discarded, killed=killed)
         return None
 
     def _preemptive_discard(self, dead: Set[int], record) -> Generator:

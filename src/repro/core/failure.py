@@ -21,7 +21,7 @@ is considered corrupt by the other cells."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.hardware.errors import BusError
 
@@ -45,6 +45,9 @@ class FailureDetector:
     def __init__(self, cell):
         self.cell = cell
         self.hints: List[Hint] = []
+        #: stable instrumentation hook: called with each accepted Hint
+        #: before it reaches the coordinator (tracing, flight recorder).
+        self.observers: List[Callable[[Hint], None]] = []
         #: cell we watch (ring: each cell monitors its successor).
         self.monitored_cell: Optional[int] = None
         self._last_heartbeat: Optional[int] = None
@@ -60,6 +63,9 @@ class FailureDetector:
         h = Hint(reporter=self.cell.kernel_id, suspect=suspect,
                  reason=reason, time_ns=self.cell.sim.now)
         self.hints.append(h)
+        self.cell.detection_metrics.counter("hints").add()
+        for obs in list(self.observers):
+            obs(h)
         self.cell.registry.coordinator.report_hint(h)
 
     # -- clock monitoring -----------------------------------------------------

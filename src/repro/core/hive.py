@@ -20,6 +20,7 @@ from repro.core.ssi import SpanningTask
 from repro.hardware.faults import FaultInjector
 from repro.hardware.machine import Machine, MachineConfig
 from repro.hardware.params import HardwareParams
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim.engine import Simulator
 from repro.unix.kernel import (
     GlobalNamespace,
@@ -59,6 +60,11 @@ class CellRegistry:
         self.reboots = 0
         #: re-derives the clock-monitoring ring after membership changes
         self.rewire_monitors: Callable[[], None] = lambda: None
+        #: stable hook: called with every cell that registers (including
+        #: cells rebooted during reintegration), so instrumentation like
+        #: fault injection, tracing, and the flight recorder can wire new
+        #: incarnations without monkey-patching ``register``.
+        self.register_observers: List[Callable[[Cell], None]] = []
 
     # -- static topology ----------------------------------------------
 
@@ -97,6 +103,8 @@ class CellRegistry:
     def register(self, cell: Cell) -> None:
         self.cells[cell.kernel_id] = cell
         self._dead.discard(cell.kernel_id)
+        for obs in list(self.register_observers):
+            obs(cell)
 
     def cell_object(self, cell_id: int) -> Optional[Cell]:
         return self.cells.get(cell_id)
@@ -192,6 +200,10 @@ class HiveSystem:
         self.namespace = namespace
         self.injector = injector
         self.params = machine.params
+        #: the attached flight recorder (``attach_flight_recorder``
+        #: replaces the null default); subsystems without a cell handle
+        #: (e.g. the kernel fault injector) emit through this.
+        self.recorder = NULL_RECORDER
 
     @property
     def cells(self) -> List[Cell]:
@@ -302,13 +314,8 @@ def boot_hive(sim: Simulator, num_cells: int = 4,
 
     for cell in registry.cells.values():
         _wire_injection(cell)
-    _orig_register = registry.register
-
-    def register_and_wire(cell: Cell) -> None:
-        _orig_register(cell)
-        _wire_injection(cell)
-
-    registry.register = register_and_wire
+    # Reintegrated cells are new objects: wire them on registration.
+    registry.register_observers.append(_wire_injection)
     system = HiveSystem(sim, machine, registry, namespace, injector)
     if with_wax:
         from repro.core.wax import Wax

@@ -107,6 +107,7 @@ class KernelFaultInjector:
             time_ns=self.sim.now, original_value=original,
             corrupt_value=corrupt)
         self.records.append(record)
+        self._note_corrupt(record)
         if wild_writes:
             self._wild_write_burst(cell, corrupt, wild_writes, record)
         return record
@@ -139,9 +140,16 @@ class KernelFaultInjector:
             time_ns=self.sim.now, original_value=original,
             corrupt_value=corrupt)
         self.records.append(record)
+        self._note_corrupt(record)
         if wild_writes:
             self._wild_write_burst(cell, corrupt, wild_writes, record)
         return record
+
+    def _note_corrupt(self, record: KernelFaultRecord) -> None:
+        rec = getattr(self.system, "recorder", None)
+        if rec is not None and rec.enabled:
+            rec.event("fault.corrupt", "fault", cell=record.cell_id,
+                      site=record.site, mode=record.mode)
 
     # -- wild writes ----------------------------------------------------------
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set
 
+from repro.obs.recorder import NULL_RECORDER, OBS_RECOVERY
 from repro.sim.engine import Event, Simulator
 
 
@@ -111,6 +112,8 @@ class RecoveryCoordinator:
         self._pending_suspects: Set[int] = set()
         #: observers notified with each finished RecoveryRecord
         self.observers: List = []
+        #: flight recorder handle; replaced by attach_flight_recorder
+        self.obs = NULL_RECORDER
 
     # -- hint entry --------------------------------------------------------
 
@@ -155,6 +158,13 @@ class RecoveryCoordinator:
             hint_time_ns=hint.time_ns,
             detection_reason=hint.reason,
         )
+        obs = self.obs
+        round_span = None
+        if obs.enabled:
+            round_span = obs.begin("recovery.round", OBS_RECOVERY,
+                                   round=round_id, suspect=hint.suspect,
+                                   reason=hint.reason, forced=forced)
+        outcome = "aborted"
         try:
             # 1. Suspend user level everywhere.  Threads park at their
             # next kernel entry or quantum boundary, so quiescing the
@@ -171,15 +181,24 @@ class RecoveryCoordinator:
             t0 = sim.now
             suspects = {hint.suspect} | self._pending_suspects
             self._pending_suspects.clear()
+            agree_span = None
+            if obs.enabled:
+                agree_span = obs.begin("recovery.agreement", OBS_RECOVERY,
+                                       parent=round_span, round=round_id,
+                                       suspects=sorted(suspects))
             if forced:
                 dead = set(suspects)
                 yield sim.timeout(self.registry.params.sips_latency_ns())
+                obs.end(agree_span, dead=sorted(dead), rounds=0)
             else:
                 result = yield from self.agreement.run(hint.reporter,
                                                        suspects)
                 dead = set(result.confirmed_dead)
+                obs.end(agree_span, dead=sorted(dead),
+                        rounds=getattr(result, "rounds", 0))
             record.agreement_ns = sim.now - t0
             if not dead:
+                outcome = "voted_down"
                 # Voted down: resume, and strike the accuser.
                 self._resume_all()
                 if hint.reporter >= 0 and self.strike_book.voted_down(
@@ -207,21 +226,24 @@ class RecoveryCoordinator:
                 if cell is None or not cell.alive:
                     continue
                 record.entry_times[cell_id] = sim.now
+                parent_id = round_span.span_id if round_span else 0
                 procs.append(sim.process(
                     cell.run_recovery(round_id, dead, set(survivors),
-                                      self.barriers, record),
+                                      self.barriers, record,
+                                      parent_span=parent_id),
                     name=f"recover.c{cell_id}.r{round_id}"))
             if procs:
                 yield sim.all_of(procs)
             record.recovery_done_ns = sim.now
+            outcome = "recovered"
             self.barriers.forget((round_id, 1))
             self.barriers.forget((round_id, 2))
             # 5. Resume user level; the round is complete at this point
             # (diagnostics/reboot are follow-on master activity).
             self._resume_all()
             self.records.append(record)
-            for obs in list(self.observers):
-                obs(record)
+            for callback in list(self.observers):
+                callback(record)
             # A fresh Wax incarnation forks to the surviving cells and
             # rebuilds its view from scratch (Section 3.2).
             self.registry.restart_wax()
@@ -232,6 +254,8 @@ class RecoveryCoordinator:
                 if master_cell is not None and master_cell.alive:
                     yield from self._master_phase(master_cell, dead, record)
         finally:
+            obs.end(round_span, outcome=outcome,
+                    dead=sorted(record.dead_cells))
             self._active_round = None
             self._drain_pending()
 
@@ -261,6 +285,12 @@ class RecoveryCoordinator:
         """Diagnostics on failed nodes; reboot + reintegrate on success."""
         sim = self.registry.sim
         costs = master_cell.costs
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin("recovery.master", OBS_RECOVERY,
+                             cell=master_cell.kernel_id,
+                             round=record.round_id, dead=sorted(dead))
         yield sim.timeout(costs.diagnostics_ns)
         ok = all(
             master_cell.machine.run_diagnostics(node)
@@ -268,12 +298,14 @@ class RecoveryCoordinator:
             for node in self.registry.nodes_of(cell_id)
         )
         if not ok or not self.reintegrate:
+            obs.end(span, rebooted=False, diagnostics_ok=ok)
             return
         yield sim.timeout(costs.reboot_ns)
         for cell_id in sorted(dead):
             self.registry.reboot_cell(cell_id)
             self.strike_book.clear_cell(cell_id)
         record.rebooted = True
+        obs.end(span, rebooted=True, diagnostics_ok=True)
         # A fresh Wax incarnation forks to all cells and rebuilds its
         # picture of the system state from scratch (Section 3.2).
         self.registry.restart_wax()

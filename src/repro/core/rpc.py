@@ -103,6 +103,32 @@ class RpcSubsystem:
         Raises :class:`RpcTimeout` (a failure hint) if no reply arrives,
         and re-raises handler errors as :class:`RpcRemoteError`.
         """
+        obs = self.cell.obs
+        if not obs.enabled:
+            result = yield from self._call_inner(dst_cell_id, op, args,
+                                                 arg_bytes, timeout_ns, 0)
+            return result
+        span = obs.begin("rpc.call", "rpc", cell=self.cell.kernel_id,
+                         op=op, dst=dst_cell_id)
+        try:
+            result = yield from self._call_inner(dst_cell_id, op, args,
+                                                 arg_bytes, timeout_ns,
+                                                 span.span_id)
+        except RpcTimeout:
+            obs.end(span, outcome="timeout")
+            raise
+        except RpcRemoteError as exc:
+            obs.end(span, outcome="remote_error", errno=exc.errno)
+            raise
+        except BaseException:
+            obs.end(span, outcome="error")
+            raise
+        obs.end(span, outcome="ok")
+        return result
+
+    def _call_inner(self, dst_cell_id: int, op: str, args: Optional[dict],
+                    arg_bytes: int, timeout_ns: Optional[int],
+                    span_id: int) -> Generator:
         if dst_cell_id == self.cell.kernel_id:
             raise ValueError("RPC to self")
         args = args or {}
@@ -127,10 +153,14 @@ class RpcSubsystem:
                    "src_cell": self.cell.kernel_id,
                    "reply_node": self.cell.node_ids[0],
                    "oversize": oversize}
+        if span_id:
+            # Parent link for the server-side span (cross-cell tracing).
+            payload["span"] = span_id
         src_cpu = self.cell.cpu_ids[0]
         limit = timeout_ns if timeout_ns is not None else self.costs.rpc_timeout_ns
         send_deadline = self.sim.now + limit
         backoff = self.costs.rpc_null_stub_ns
+        obs = self.cell.obs
         while True:
             try:
                 self.sips.send(src_cpu, dst_node, payload,
@@ -141,6 +171,11 @@ class RpcSubsystem:
                 # Hardware flow control: the sender stalls and retries —
                 # a SIPS is never dropped.  Only a peer that stays
                 # unreceptive past the failure timeout becomes a hint.
+                if obs.enabled:
+                    obs.event("rpc.flow_control", "rpc",
+                              cell=self.cell.kernel_id, op=op,
+                              dst=dst_cell_id, backoff_ns=backoff)
+                self.metrics.counter("send_retries").add()
                 if self.sim.now >= send_deadline:
                     self._pending.pop(call_id, None)
                     self.metrics.counter("timeouts").add()
@@ -182,6 +217,7 @@ class RpcSubsystem:
                                    + self.costs.rpc_copy_ns // 2)
         self.metrics.counter("calls").add()
         self.metrics.timer("latency").record(self.sim.now - start)
+        self.metrics.histogram("latency_ns").record(self.sim.now - start)
         if isinstance(result, RpcError):
             raise RpcRemoteError(dst_cell_id, op, result)
         return result
@@ -222,14 +258,22 @@ class RpcSubsystem:
         yield self.sim.timeout(self.costs.rpc_interrupt_dispatch_ns)
         payload = msg.payload
         op = payload.get("op")
+        obs = self.cell.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin("rpc.serve_int", "rpc",
+                             cell=self.cell.kernel_id, op=op,
+                             parent=payload.get("span", 0))
         entry = self._handlers.get(op)
         if entry is None:
+            obs.end(span, outcome="no_handler")
             self._reply(payload, RpcError("EOPNOTSUPP", f"no handler {op}"))
             return
         handler, service_class = entry
         if service_class == QUEUED:
             self.metrics.counter("queued").add()
             self.cell.note_cpu_steal(self.sim.now - service_start)
+            obs.end(span, outcome="queued")
             yield self._queue.put(payload)
             return
         result = yield from self._run_handler(handler, payload)
@@ -238,9 +282,11 @@ class RpcSubsystem:
             # Best-effort interrupt service hit a synchronization
             # condition; requeue for a server process (Section 6).
             self.metrics.counter("queued_fallback").add()
+            obs.end(span, outcome="must_queue")
             yield self._queue.put(payload)
             return
         self.metrics.counter("served_interrupt").add()
+        obs.end(span, outcome="ok")
         self._reply(payload, result)
 
     def _server_loop(self, idx: int) -> Generator:
@@ -258,8 +304,16 @@ class RpcSubsystem:
             # Wakeup + synchronization overhead of the queued path.
             service_start = self.sim.now
             yield self.sim.timeout(self.costs.rpc_queue_extra_ns)
+            obs = self.cell.obs
+            span = None
+            if obs.enabled:
+                span = obs.begin("rpc.serve_queued", "rpc",
+                                 cell=self.cell.kernel_id,
+                                 op=payload.get("op"),
+                                 parent=payload.get("span", 0), server=idx)
             entry = self._handlers.get(payload.get("op"))
             if entry is None:
+                obs.end(span, outcome="no_handler")
                 self._reply(payload,
                             RpcError("EOPNOTSUPP", "no handler"))
                 continue
@@ -269,6 +323,8 @@ class RpcSubsystem:
             if result is MUST_QUEUE:
                 result = RpcError("EDEADLK", "queued handler queued again")
             self.metrics.counter("served_queued").add()
+            obs.end(span, outcome="error"
+                    if isinstance(result, RpcError) else "ok")
             # Server processes run on this cell's CPUs: their service
             # time is stolen from user computation.  Time blocked on
             # disk is not CPU time, so the steal is capped at the

@@ -104,6 +104,7 @@ class SharingMixin:
         if pf.logical_id is None:
             self.pfdats.insert(pf, logical_id)
         pf.imported_from = data_home
+        self.sharing_metrics.counter("imports").add()
         return pf
 
     def release_page(self, pf: Pfdat) -> None:
@@ -117,6 +118,7 @@ class SharingMixin:
         frame = pf.frame
         logical_id = pf.logical_id
         pf.imported_from = None
+        self.sharing_metrics.counter("releases").add()
         if pf.extended:
             self.pfdats.release_extended(pf)
         else:
@@ -160,6 +162,9 @@ class SharingMixin:
                           is_writable: bool) -> Generator:
         """Data-home side of an export (Table 5.1's ``export``)."""
         pf.exported_to.add(client_cell)
+        self.sharing_metrics.counter("exports").add()
+        if is_writable:
+            self.sharing_metrics.counter("exports_writable").add()
         if is_writable:
             yield from self.firewall_mgr.grant_write(pf, client_cell)
             # The client can now dirty the page without telling us:
@@ -838,7 +843,10 @@ class SharingMixin:
         return [have[idx] for idx in sorted(have) if idx >= first_page][:npages]
 
     def _h_bulk_pages(self, src_cell: int, args: dict) -> Generator:
-        fs = self.filesystems.get(args.get("fs_id"))
+        fs_id = args.get("fs_id")
+        # Sanity-check before using as a dict key: a garbage fs_id may
+        # not even be hashable, and a server must survive any request.
+        fs = self.filesystems.get(fs_id) if isinstance(fs_id, int) else None
         pages = args.get("pages")
         if fs is None or not isinstance(pages, list) or len(pages) > 64:
             raise RpcHandlerError("EINVAL", "bad bulk request")
@@ -871,7 +879,8 @@ class SharingMixin:
         return {"frames": frames}
 
     def _h_file_extend(self, src_cell: int, args: dict) -> Generator:
-        fs = self.filesystems.get(args.get("fs_id"))
+        fs_id = args.get("fs_id")
+        fs = self.filesystems.get(fs_id) if isinstance(fs_id, int) else None
         if fs is None:
             raise RpcHandlerError("ESTALE", "fs not here")
         try:
@@ -956,6 +965,7 @@ class SharingMixin:
             self._borrowed_free.append(pf)
         if frames:
             self.metrics.counter("borrows").add()
+            self.sharing_metrics.counter("frames_borrowed").add(len(frames))
         return bool(frames)
 
     def _h_borrow_frames(self, src_cell: int, args: dict) -> Generator:
@@ -970,6 +980,8 @@ class SharingMixin:
             pf = self.pfdats.alloc_frame()
             self.pfdats.move_to_reserved(pf, src_cell)
             frames.append(pf.frame)
+        if frames:
+            self.sharing_metrics.counter("frames_loaned").add(len(frames))
         return {"frames": frames}
 
     def return_borrowed_frame(self, pf: Pfdat) -> None:

@@ -69,6 +69,12 @@ class FirewallManager:
                 {"frame": pf.frame, "grantee": client_cell, "grant": True})
         pf.export_writable.add(client_cell)
         self.grants += 1
+        self.cell.firewall_metrics.counter("grants").add()
+        obs = self.cell.obs
+        if obs.enabled:
+            obs.event("firewall.grant", "firewall",
+                      cell=self.cell.kernel_id, frame=pf.frame,
+                      grantee=client_cell)
         return None
 
     def revoke_write(self, pf: Pfdat, client_cell: int) -> Generator:
@@ -95,6 +101,12 @@ class FirewallManager:
                 pass  # memory home died; its firewall died with it
         pf.export_writable.discard(client_cell)
         self.revokes += 1
+        self.cell.firewall_metrics.counter("revokes").add()
+        obs = self.cell.obs
+        if obs.enabled:
+            obs.event("firewall.revoke", "firewall",
+                      cell=self.cell.kernel_id, frame=pf.frame,
+                      grantee=client_cell)
         return None
 
     def revoke_all_local(self, pf: Pfdat) -> None:
@@ -103,6 +115,8 @@ class FirewallManager:
         if self._owns_node(node):
             self.cell.machine.memory.firewalls[node].revoke_all_remote(
                 pf.frame, node)
+        if pf.export_writable:
+            self.cell.firewall_metrics.counter("bulk_revokes").add()
         pf.export_writable.clear()
 
     # -- the Section 4.2 measurement -------------------------------------------

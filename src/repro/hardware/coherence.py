@@ -39,6 +39,7 @@ from typing import Dict, Optional, Set
 from repro.hardware.interconnect import Interconnect
 from repro.hardware.memory import PhysicalMemory
 from repro.hardware.params import HardwareParams
+from repro.sim.stats import Histogram
 
 
 @dataclass
@@ -85,6 +86,11 @@ class CoherenceController:
         self.interconnect = interconnect
         self._lines: Dict[int, LineState] = {}
         self.stats = CoherenceStats()
+        #: latency distribution of remote ownership requests (the traffic
+        #: the firewall check sits on); buckets span the sub-us regime.
+        self.remote_write_hist = Histogram(
+            "remote_write_miss_ns",
+            [200, 500, 700, 1_000, 1_500, 2_000, 5_000, 10_000])
 
     # -- helpers ------------------------------------------------------
 
@@ -160,6 +166,7 @@ class CoherenceController:
         if src_node != home_node:
             self.stats.remote_write_misses += 1
             self.stats.remote_write_miss_ns_total += latency
+            self.remote_write_hist.record(latency)
         invalidated = {c for c in st.sharers if c != cpu}
         if st.owner is not None and st.owner != cpu:
             invalidated.add(st.owner)

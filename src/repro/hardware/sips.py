@@ -69,6 +69,7 @@ class SipsFabric:
         self._failed: set[int] = set()
         self._seq = 0
         self.sends = 0
+        self.sends_by_kind: Dict[str, int] = {REQUEST: 0, REPLY: 0}
         self.flow_control_rejections = 0
         for node in range(params.num_nodes):
             self._queues[(node, REQUEST)] = deque()
@@ -137,6 +138,7 @@ class SipsFabric:
         )
         queue.append(msg)  # slot reserved immediately: hardware flow control
         self.sends += 1
+        self.sends_by_kind[kind] += 1
         self.interconnect.messages_sent += 1
         self.sim.schedule(latency, self._deliver, msg)
         return msg

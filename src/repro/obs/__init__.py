@@ -1,0 +1,34 @@
+"""Observability: the flight recorder, metric aggregation, exporters."""
+
+from repro.obs.export import (
+    render_fault_timeline,
+    to_chrome_trace,
+    to_jsonl,
+    write_bench_summary,
+    write_telemetry,
+)
+from repro.obs.metrics import render_snapshot, snapshot_system
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullRecorder,
+    Span,
+    TelemetryEvent,
+    attach_flight_recorder,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "FlightRecorder",
+    "NullRecorder",
+    "Span",
+    "TelemetryEvent",
+    "attach_flight_recorder",
+    "render_fault_timeline",
+    "render_snapshot",
+    "snapshot_system",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_bench_summary",
+    "write_telemetry",
+]

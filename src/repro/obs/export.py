@@ -1,0 +1,244 @@
+"""Telemetry exporters: JSONL, Chrome ``trace_event``, fault timeline.
+
+Three consumers, three formats:
+
+* :func:`to_jsonl` — one JSON object per line, time-ordered, for ad-hoc
+  ``jq``/pandas analysis and byte-for-byte determinism checks;
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON Object
+  Format (complete-``X`` spans + instant-``i`` events, microsecond
+  timestamps, ``pid`` = cell, ``tid`` = subsystem), loadable in
+  ``about:tracing`` and Perfetto;
+* :func:`render_fault_timeline` — a plain-text reconstruction of each
+  recovery round: inject → hint → agreement → discard → recovery done,
+  with per-phase latencies (the Table 7.4 debugging view).
+
+``write_telemetry`` drops all of them (plus a metrics snapshot and an
+optional ``BENCH_pr2.json`` summary) into one directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import snapshot_system
+from repro.obs.recorder import FlightRecorder
+
+
+def _json_line(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(recorder: FlightRecorder) -> str:
+    """All events and spans, one JSON object per line, time-ordered.
+
+    Spans sort by start time; the (time, kind, id) sort key is total, so
+    equal-seed runs serialize identically.
+    """
+    keyed = []
+    for ev in recorder.events:
+        keyed.append(((ev.time_ns, 0, 0), ev.to_dict()))
+    for span in recorder.spans:
+        keyed.append(((span.start_ns, 1, span.span_id), span.to_dict()))
+    keyed.sort(key=lambda item: item[0])
+    lines = [_json_line(payload) for _key, payload in keyed]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome_trace(recorder: FlightRecorder,
+                    system=None) -> Dict[str, Any]:
+    """The Chrome ``trace_event`` JSON Object Format.
+
+    ``pid`` is the cell id (-1 for system-wide activity), ``tid`` the
+    subsystem category, timestamps/durations in microseconds.
+    """
+    events: List[Dict[str, Any]] = []
+    pids = set()
+    for span in recorder.spans:
+        pid = span.cell if span.cell is not None else -1
+        pids.add(pid)
+        end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_ns / 1000.0,
+            "dur": (end_ns - span.start_ns) / 1000.0,
+            "pid": pid,
+            "tid": span.category,
+            "args": args,
+        })
+    for ev in recorder.events:
+        pid = ev.cell if ev.cell is not None else -1
+        pids.add(pid)
+        events.append({
+            "name": ev.name,
+            "cat": ev.category,
+            "ph": "i",
+            "s": "g",
+            "ts": ev.time_ns / 1000.0,
+            "pid": pid,
+            "tid": ev.category,
+            "args": dict(ev.attrs),
+        })
+    metadata = []
+    for pid in sorted(pids):
+        label = f"cell {pid}" if pid >= 0 else "system"
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
+# fault timeline
+# ---------------------------------------------------------------------------
+
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:10.3f} ms"
+
+
+def render_fault_timeline(recorder: FlightRecorder) -> str:
+    """Reconstruct each recovery round as a phase-by-phase timeline."""
+    injections = [e for e in recorder.events
+                  if e.name in ("fault.inject", "fault.corrupt")]
+    hints = recorder.events_named("detect.hint")
+    rounds = sorted(recorder.spans_named("recovery.round"),
+                    key=lambda s: s.start_ns)
+    lines: List[str] = []
+    if not rounds:
+        lines.append("fault timeline: no recovery rounds recorded")
+        for inj in injections:
+            lines.append(f"  inject        @ {_fmt_ms(inj.time_ns)}  "
+                         f"{inj.attrs.get('kind', inj.name)} "
+                         f"(cell {inj.cell}, "
+                         f"trigger={inj.attrs.get('trigger', '-')})")
+        return "\n".join(lines)
+    lines.append(f"fault timeline — {len(rounds)} recovery "
+                 f"round{'s' if len(rounds) != 1 else ''}")
+    for round_span in rounds:
+        round_id = round_span.attrs.get("round")
+        dead = round_span.attrs.get("dead", [])
+        lines.append("")
+        lines.append(f"round {round_id}: dead={dead}  "
+                     f"outcome={round_span.attrs.get('outcome', '?')}  "
+                     f"reason: {round_span.attrs.get('reason', '?')}")
+        inject = None
+        for inj in injections:
+            if inj.time_ns <= round_span.start_ns:
+                inject = inj
+        prev_ns = None
+        if inject is not None:
+            prev_ns = inject.time_ns
+            lines.append(
+                f"  inject           @ {_fmt_ms(inject.time_ns)}  "
+                f"{inject.attrs.get('kind', inject.name)} on cell "
+                f"{inject.cell} (trigger={inject.attrs.get('trigger', '-')})")
+        first_hint = None
+        for h in hints:
+            if h.time_ns <= round_span.start_ns + 1:
+                first_hint = first_hint or h
+        if first_hint is not None:
+            delta = ("" if prev_ns is None else
+                     f"  (+{(first_hint.time_ns - prev_ns) / 1e6:.3f} ms)")
+            lines.append(
+                f"  first hint       @ {_fmt_ms(first_hint.time_ns)}"
+                f"{delta}  cell {first_hint.cell} suspects "
+                f"{first_hint.attrs.get('suspect')}: "
+                f"{first_hint.attrs.get('reason')}")
+            prev_ns = first_hint.time_ns
+        agreement = [s for s in recorder.spans_named("recovery.agreement")
+                     if s.attrs.get("round") == round_id]
+        if agreement:
+            ag = agreement[0]
+            delta = ("" if prev_ns is None else
+                     f"  (+{(ag.start_ns - prev_ns) / 1e6:.3f} ms suspend)")
+            lines.append(f"  agreement start  @ {_fmt_ms(ag.start_ns)}"
+                         f"{delta}")
+            if ag.end_ns is not None:
+                lines.append(
+                    f"  agreement done   @ {_fmt_ms(ag.end_ns)}  "
+                    f"(+{(ag.end_ns - ag.start_ns) / 1e6:.3f} ms, "
+                    f"{ag.attrs.get('rounds', '?')} round(s))")
+                prev_ns = ag.end_ns
+        cell_spans = [s for s in recorder.spans_named("recovery.cell")
+                      if s.attrs.get("round") == round_id]
+        if cell_spans:
+            last_entry = max(s.start_ns for s in cell_spans)
+            lines.append(
+                f"  last cell enters @ {_fmt_ms(last_entry)}  "
+                f"({len(cell_spans)} surviving cells)")
+            if inject is not None:
+                lines.append(
+                    f"  detection latency (inject → last entry): "
+                    f"{(last_entry - inject.time_ns) / 1e6:.3f} ms")
+            prev_ns = last_entry
+        cleanup = [s for s in recorder.spans_named("recovery.cleanup")
+                   if s.attrs.get("round") == round_id
+                   and s.end_ns is not None]
+        if cleanup:
+            discard_done = max(s.end_ns for s in cleanup)
+            discarded = sum(s.attrs.get("discarded", 0) for s in cleanup)
+            killed = sum(s.attrs.get("killed", 0) for s in cleanup)
+            delta = ("" if prev_ns is None else
+                     f"  (+{(discard_done - prev_ns) / 1e6:.3f} ms)")
+            lines.append(
+                f"  discard done     @ {_fmt_ms(discard_done)}{delta}  "
+                f"{discarded} pages discarded, {killed} processes killed")
+            prev_ns = discard_done
+        done_events = [e for e in recorder.events_named("recovery.done")
+                       if e.attrs.get("round") == round_id]
+        done_ns = (done_events[0].time_ns if done_events
+                   else round_span.end_ns)
+        if done_ns is not None:
+            delta = ("" if prev_ns is None else
+                     f"  (+{(done_ns - prev_ns) / 1e6:.3f} ms)")
+            lines.append(f"  recovery done    @ {_fmt_ms(done_ns)}{delta}")
+            if inject is not None:
+                lines.append(
+                    f"  total (inject → recovery done): "
+                    f"{(done_ns - inject.time_ns) / 1e6:.3f} ms")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# directory writer
+# ---------------------------------------------------------------------------
+
+def write_bench_summary(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def write_telemetry(out_dir: str, recorder: FlightRecorder, system,
+                    bench: Optional[Dict[str, Any]] = None,
+                    ) -> Dict[str, str]:
+    """Write every telemetry artifact into ``out_dir``; returns paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "spans": os.path.join(out_dir, "spans.jsonl"),
+        "trace": os.path.join(out_dir, "trace.json"),
+        "metrics": os.path.join(out_dir, "metrics.json"),
+        "timeline": os.path.join(out_dir, "timeline.txt"),
+    }
+    with open(paths["spans"], "w") as fh:
+        fh.write(to_jsonl(recorder))
+    with open(paths["trace"], "w") as fh:
+        json.dump(to_chrome_trace(recorder, system), fh, sort_keys=True)
+        fh.write("\n")
+    with open(paths["metrics"], "w") as fh:
+        json.dump(snapshot_system(system), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    with open(paths["timeline"], "w") as fh:
+        fh.write(render_fault_timeline(recorder) + "\n")
+    if bench is not None:
+        paths["bench"] = os.path.join(out_dir, "BENCH_pr2.json")
+        write_bench_summary(paths["bench"], bench)
+    return paths

@@ -7,8 +7,19 @@ periodically-sampled quantities (remotely-writable page counts sampled every
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+#: default bucket bounds (ns) for latency histograms: 1 us .. 1 s in a
+#: roughly-logarithmic ladder, matching the paper's range of interest
+#: (microsecond RPCs up to the ~400 ms software-fault detection tail).
+DEFAULT_LATENCY_BOUNDS_NS = [
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+    100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000, 10_000_000, 20_000_000, 50_000_000,
+    100_000_000, 200_000_000, 500_000_000, 1_000_000_000,
+]
 
 
 class Counter:
@@ -70,25 +81,73 @@ class Timer:
 
 
 class Histogram:
-    """Fixed-bucket histogram of durations, for latency distributions."""
+    """Fixed-bucket histogram of durations, for latency distributions.
 
-    def __init__(self, name: str, bucket_bounds: List[int]):
+    Bucket ``i`` counts values with ``value <= bounds[i]`` (and greater
+    than the previous bound); the last bucket is the overflow.  Exact
+    min/max/sum are tracked alongside so snapshots can report a true
+    maximum and bucket-resolution percentiles.
+    """
+
+    def __init__(self, name: str, bucket_bounds: Optional[List[int]] = None):
+        if bucket_bounds is None:
+            bucket_bounds = list(DEFAULT_LATENCY_BOUNDS_NS)
         if sorted(bucket_bounds) != list(bucket_bounds):
             raise ValueError("bucket bounds must be sorted")
         self.name = name
         self.bounds = list(bucket_bounds)
         self.counts = [0] * (len(bucket_bounds) + 1)
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
 
     def record(self, value: int) -> None:
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
 
     @property
     def total(self) -> int:
         return sum(self.counts)
+
+    @property
+    def mean(self) -> float:
+        n = self.total
+        return self.sum / n if n else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Percentile at bucket resolution: the upper bound of the bucket
+        holding the p-th ranked sample (the exact max for the overflow
+        bucket)."""
+        n = self.total
+        if not n:
+            return 0.0
+        rank = max(1, int(p / 100.0 * n + 0.999999))
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if i < len(self.bounds):
+                    return float(min(self.bounds[i], self.max))
+                return float(self.max)
+        return float(self.max)
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "n": self.total,
+            "mean": self.mean,
+            "min": float(self.min or 0),
+            "max": float(self.max or 0),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+        for bound, count in zip(self.bounds, self.counts):
+            out[f"le_{bound}"] = count
+        out["overflow"] = self.counts[-1]
+        return out
 
 
 class Sampler:
@@ -135,6 +194,7 @@ class MetricSet:
     counters: Dict[str, Counter] = field(default_factory=dict)
     timers: Dict[str, Timer] = field(default_factory=dict)
     samplers: Dict[str, Sampler] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -157,6 +217,14 @@ class MetricSet:
             self.samplers[name] = s
         return s
 
+    def histogram(self, name: str,
+                  bounds: Optional[List[int]] = None) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = Histogram(name, bounds)
+            self.histograms[name] = h
+        return h
+
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of all current metric values, for report printing."""
         out: Dict[str, float] = {}
@@ -169,4 +237,7 @@ class MetricSet:
         for name, s in self.samplers.items():
             out[f"{name}.mean"] = s.mean
             out[f"{name}.max"] = s.max
+        for name, h in self.histograms.items():
+            for key, value in h.snapshot().items():
+                out[f"{name}.{key}"] = value
         return out

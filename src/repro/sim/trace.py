@@ -13,8 +13,9 @@ and deterministic like everything else in the engine.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 #: well-known categories used by the built-in instrumentation
 CAT_FAULT = "fault"          # hardware fault injections
@@ -39,14 +40,19 @@ class TraceEvent:
 
 
 class TraceLog:
-    """An append-only, filterable event log."""
+    """A bounded, filterable event log (ring buffer keeping the newest).
+
+    At capacity the oldest event is evicted and ``dropped`` incremented:
+    a long run keeps the *end* of the timeline — the part that explains
+    the failure under investigation — rather than silently going quiet.
+    """
 
     def __init__(self, categories: Optional[Iterable[str]] = None,
                  capacity: int = 100_000):
         self.enabled_categories = (set(categories)
                                    if categories is not None else None)
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
     def wants(self, category: str) -> bool:
@@ -58,8 +64,7 @@ class TraceLog:
         if not self.wants(category):
             return
         if len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
+            self.dropped += 1  # the deque evicts the oldest event
         self.events.append(TraceEvent(time_ns, category, cell, message))
 
     # -- querying -------------------------------------------------------
@@ -100,7 +105,11 @@ def attach_tracing(system, categories: Optional[Iterable[str]] = None
     """Instrument a booted HiveSystem with a trace log.
 
     Hooks the fault injector, failure detectors, recovery coordinator,
-    and process lifecycle.  Returns the log; call again for a fresh one.
+    and process lifecycle — all through stable observer interfaces
+    (``detector.observers``, ``panic_hooks``, ``injector.observers``,
+    ``coordinator.observers``, ``registry.register_observers``), so the
+    instrumented objects are never rebound.  Returns the log; call again
+    for a fresh one.
     """
     log = TraceLog(categories)
     sim = system.sim
@@ -121,37 +130,21 @@ def attach_tracing(system, categories: Optional[Iterable[str]] = None
 
     system.coordinator.observers.append(on_recovery)
 
-    # Wrap each live cell's hint path.
+    def wire_cell(cell) -> None:
+        def on_hint(hint) -> None:
+            log.emit(hint.time_ns, CAT_DETECT, hint.reporter,
+                     f"suspects cell {hint.suspect}: {hint.reason}")
+
+        cell.detector.observers.append(on_hint)
+
+        def on_panic(reason, _cell_id=cell.kernel_id) -> None:
+            log.emit(sim.now, CAT_PROC, _cell_id, f"PANIC: {reason}")
+
+        cell.panic_hooks.append(on_panic)
+
+    # Wire each live cell's hint path; future cells (reintegration) are
+    # wired through the registry's registration observer list.
     for cell in system.cells:
-        _wrap_cell(cell, log, sim)
-    # Future cells (reintegration) get wrapped on registration.
-    registry = system.registry
-    orig_register = registry.register
-
-    def register_and_trace(cell) -> None:
-        orig_register(cell)
-        _wrap_cell(cell, log, sim)
-
-    registry.register = register_and_trace
+        wire_cell(cell)
+    system.registry.register_observers.append(wire_cell)
     return log
-
-
-def _wrap_cell(cell, log: TraceLog, sim) -> None:
-    if getattr(cell, "_trace_wrapped", False):
-        return
-    cell._trace_wrapped = True
-    orig_hint = cell.detector.hint
-
-    def traced_hint(suspect, reason):
-        log.emit(sim.now, CAT_DETECT, cell.kernel_id,
-                 f"suspects cell {suspect}: {reason}")
-        orig_hint(suspect, reason)
-
-    cell.detector.hint = traced_hint
-    orig_panic = cell.panic
-
-    def traced_panic(reason):
-        log.emit(sim.now, CAT_PROC, cell.kernel_id, f"PANIC: {reason}")
-        orig_panic(reason)
-
-    cell.panic = traced_panic

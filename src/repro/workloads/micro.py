@@ -234,6 +234,50 @@ def measure_file_ops(system: HiveSystem, remote: bool) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# the anchor sweep (what ``repro micro`` prints and exports)
+# ---------------------------------------------------------------------------
+
+def collect_anchors(seed: int = 1995) -> Dict[str, Dict[str, float]]:
+    """All microbenchmark anchors as ``name -> {paper, measured, unit}``.
+
+    One entry per row of the ``repro micro`` table; the machine-readable
+    form telemetry export writes to ``BENCH_pr2.json``.
+    """
+    local = measure_page_fault(boot_two_cell(seed), remote=False,
+                               nfaults=128)
+    remote = measure_page_fault(boot_two_cell(seed), remote=True,
+                                nfaults=128)
+    system = boot_two_cell(seed)
+    rpc = measure_rpc(system)
+    rpc_q = measure_rpc(system, queued=True)
+    careful = measure_careful_reference(system)
+    ops = measure_file_ops(boot_two_cell(seed), remote=False)
+    return {
+        "local_page_fault": {
+            "paper": 6.9, "measured": round(local["mean_ns"] / 1e3, 2),
+            "unit": "us"},
+        "remote_page_fault": {
+            "paper": 50.7, "measured": round(remote["mean_ns"] / 1e3, 2),
+            "unit": "us"},
+        "null_rpc": {
+            "paper": 7.2, "measured": round(rpc["mean_ns"] / 1e3, 2),
+            "unit": "us"},
+        "null_queued_rpc": {
+            "paper": 34.0, "measured": round(rpc_q["mean_ns"] / 1e3, 2),
+            "unit": "us"},
+        "careful_reference": {
+            "paper": 1.16, "measured": round(careful["mean_ns"] / 1e3, 3),
+            "unit": "us"},
+        "open_local": {
+            "paper": 148, "measured": round(ops["open_ns"] / 1e3, 1),
+            "unit": "us"},
+        "read_4mb_local": {
+            "paper": 65.0, "measured": round(ops["read4mb_ns"] / 1e6, 1),
+            "unit": "ms"},
+    }
+
+
+# ---------------------------------------------------------------------------
 # firewall overhead (Section 4.2)
 # ---------------------------------------------------------------------------
 

@@ -1,5 +1,8 @@
 """Tests for the command-line driver."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -28,6 +31,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "pmake"])
+        assert args.workload == "pmake"
+        assert args.cells == 4
+        assert args.seed == 1995
+
+    def test_metrics_accepts_hive_config(self):
+        args = build_parser().parse_args(
+            ["metrics", "raytrace", "--cells", "2", "--seed", "3"])
+        assert args.workload == "raytrace"
+        assert args.cells == 2
+
+    def test_telemetry_out_flag(self):
+        args = build_parser().parse_args(
+            ["run", "pmake", "--telemetry-out", "/tmp/t"])
+        assert args.telemetry_out == "/tmp/t"
+        args = build_parser().parse_args(
+            ["inject", "sw_cow_tree", "--telemetry-out", "/tmp/t"])
+        assert args.telemetry_out == "/tmp/t"
+
 
 class TestCommands:
     def test_run_small_hive(self, capsys):
@@ -49,3 +72,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "contained 1/1" in out
+
+    def test_run_irix_rejects_telemetry(self, capsys):
+        rc = main(["run", "ocean", "--irix", "--seed", "3",
+                   "--telemetry-out", "/tmp/never-created"])
+        assert rc == 2
+        assert not os.path.exists("/tmp/never-created")
+
+    def test_run_writes_telemetry(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tel")
+        rc = main(["run", "raytrace", "--cells", "2", "--seed", "3",
+                   "--telemetry-out", out_dir])
+        assert rc == 0
+        assert "telemetry written" in capsys.readouterr().out
+        # Every artifact exists and parses.
+        with open(os.path.join(out_dir, "spans.jsonl")) as fh:
+            lines = fh.read().splitlines()
+        assert lines
+        for line in lines[:200]:
+            assert json.loads(line)["type"] in ("span", "event")
+        with open(os.path.join(out_dir, "trace.json")) as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+        with open(os.path.join(out_dir, "metrics.json")) as fh:
+            metrics = json.load(fh)
+        cell0 = metrics["cells"]["0"]
+        for subsystem in ("firewall", "rpc", "sharing", "recovery"):
+            assert subsystem in cell0
+        with open(os.path.join(out_dir, "BENCH_pr2.json")) as fh:
+            bench = json.load(fh)
+        assert bench["workload"] == "raytrace"
+        assert bench["spans"] > 0
+
+    def test_trace_command(self, capsys):
+        rc = main(["trace", "raytrace", "--cells", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "spans by name" in out
+        assert "rpc.call" in out
+
+    def test_metrics_command(self, capsys):
+        rc = main(["metrics", "raytrace", "--cells", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cell 0" in out
+        assert "rpc" in out

@@ -88,6 +88,39 @@ class TestHistogram:
         h.record(10)
         assert h.counts == [1, 0]
 
+    def test_percentiles_at_bucket_resolution(self):
+        h = Histogram("h", [10, 100, 1000])
+        for v in range(1, 101):  # 1..100: half <=10 is false; 10 in low
+            h.record(v)
+        # Ranked sample 50 falls in the <=100 bucket; its upper bound
+        # is clamped to the observed max.
+        assert h.percentile(50) == 100.0
+        assert h.percentile(95) == 100.0
+        assert h.percentile(100) == 100.0
+        assert h.mean == pytest.approx(50.5)
+
+    def test_percentile_overflow_bucket_reports_true_max(self):
+        h = Histogram("h", [10])
+        h.record(5)
+        h.record(99_999)
+        assert h.percentile(95) == 99_999.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h", [10]).percentile(50) == 0.0
+
+    def test_snapshot_keys(self):
+        h = Histogram("h", [10, 100])
+        for v in (5, 50, 500):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["n"] == 3
+        assert snap["le_10"] == 1
+        assert snap["le_100"] == 1
+        assert snap["overflow"] == 1
+        assert snap["max"] == 500.0
+        assert snap["min"] == 5.0
+        assert snap["mean"] == pytest.approx(555 / 3)
+
 
 class TestSampler:
     def test_mean_and_max(self):
@@ -117,3 +150,20 @@ class TestMetricSet:
         snap = m.snapshot()
         assert snap["hits.count"] == 3
         assert snap["lat.mean_ns"] == 100
+
+    def test_histogram_lazy_creation_and_reuse(self):
+        m = MetricSet("m")
+        h = m.histogram("lat", [10, 100])
+        assert m.histogram("lat") is h
+        assert isinstance(h, Histogram)
+
+    def test_snapshot_merges_histograms(self):
+        m = MetricSet("m")
+        h = m.histogram("lat", [10, 100])
+        for v in (5, 50, 500):
+            h.record(v)
+        snap = m.snapshot()
+        assert snap["lat.n"] == 3
+        assert snap["lat.le_10"] == 1
+        assert snap["lat.overflow"] == 1
+        assert snap["lat.p95"] == 500.0

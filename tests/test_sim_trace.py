@@ -36,12 +36,14 @@ class TestTraceLog:
         log.emit(0, "b", None, "dropped")
         assert len(log.events) == 1
 
-    def test_capacity_bound(self):
+    def test_capacity_bound_keeps_newest(self):
         log = TraceLog(capacity=2)
         for i in range(5):
             log.emit(i, "a", None, str(i))
         assert len(log.events) == 2
         assert log.dropped == 3
+        # Ring buffer: the *end* of the timeline survives, not the start.
+        assert [e.message for e in log.events] == ["3", "4"]
 
     def test_render_format(self):
         log = TraceLog()
@@ -102,3 +104,22 @@ class TestSystemTracing:
         panics = [e for e in log.select(category=CAT_PROC)
                   if "PANIC" in e.message]
         assert panics and panics[0].cell == 2
+
+    def test_cell_registered_after_attach_is_traced(self):
+        sim = Simulator()
+        hive = boot_hive(sim, num_cells=4,
+                         machine_config=MachineConfig(seed=9),
+                         reintegrate=True)
+        log = attach_tracing(hive)
+        hive.injector.inject_at(50_000_000, FaultInjector.NODE_FAILURE, 3)
+        sim.run(until=sim.now + 60_000_000_000)
+        cell3 = hive.registry.cell_object(3)
+        assert cell3.alive and cell3.incarnation == 1
+        # The reintegrated cell was registered *after* attach_tracing; the
+        # registry observer must have wired its hint path.
+        assert cell3.detector.observers
+        before = len(log.select(category=CAT_DETECT))
+        cell3.failure_hint(0, "synthetic hint from reintegrated cell")
+        after = log.select(category=CAT_DETECT)
+        assert len(after) == before + 1
+        assert after[-1].cell == 3
