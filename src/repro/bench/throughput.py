@@ -1,0 +1,279 @@
+"""Throughput benchmark harness: sim-events/sec and memory-accesses/sec.
+
+The containment benchmarks measure *simulated* latencies; this harness
+measures how fast the simulator itself runs, so that machine sizes like
+the ones the related fault-containment work evaluates (hundreds of nodes,
+millions of pages) stay within reach.  It runs one fixed, fully
+deterministic fault-injection scenario at three machine configurations:
+
+* every cell exports a block of page frames writable to its neighbour
+  cell (the paper's group-grant policy, driven through the real
+  ``FirewallManager`` grant path);
+* every cell runs a coherence *traffic driver* that performs real
+  line-granularity reads and ownership requests against the frames its
+  neighbour granted it — each one a firewall-checked access through
+  ``CoherenceController``;
+* every cell samples ``remotely_writable_pages()`` on the paper's 20 ms
+  cadence (the Section 4.2 measurement);
+* a node of the victim cell fail-stops at a fixed simulated time, which
+  drives detection, agreement, and the preemptive-discard recovery scan
+  over everything granted to the victim.
+
+Wall-clock time is split at the injection point so the recovery phase is
+timed separately (``recovery_wall_ms``).  All simulated results (event
+counts, access counts, discard counts) are byte-deterministic for a
+given seed; only the wall-clock figures vary run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.hive import HiveSystem, boot_hive
+from repro.hardware.errors import BusError, FirewallViolation
+from repro.hardware.faults import FaultInjector
+from repro.hardware.machine import MachineConfig
+from repro.hardware.params import NS_PER_MS, HardwareParams
+from repro.sim.engine import Simulator
+
+BENCH_SCHEMA = "hive-throughput/v1"
+
+
+@dataclass(frozen=True)
+class ThroughputConfig:
+    """One machine size for the fixed scenario."""
+
+    name: str
+    num_nodes: int
+    num_cells: int
+    cpus_per_node: int
+    #: frames each cell grants writable to its neighbour cell
+    shared_frames_per_cell: int
+    #: coherence accesses issued per driver wakeup
+    ops_per_wakeup: int
+    #: simulated pacing gap between driver wakeups
+    wakeup_gap_ns: int
+    inject_ms: int
+    recovery_window_ms: int
+    duration_ms: int
+    sample_interval_ms: int = 20
+
+
+CONFIGS: Dict[str, ThroughputConfig] = {
+    "small": ThroughputConfig(
+        name="small", num_nodes=4, num_cells=4, cpus_per_node=1,
+        shared_frames_per_cell=32, ops_per_wakeup=16,
+        wakeup_gap_ns=50_000, inject_ms=120, recovery_window_ms=200,
+        duration_ms=400),
+    "medium": ThroughputConfig(
+        name="medium", num_nodes=8, num_cells=4, cpus_per_node=1,
+        shared_frames_per_cell=64, ops_per_wakeup=16,
+        wakeup_gap_ns=40_000, inject_ms=150, recovery_window_ms=200,
+        duration_ms=500),
+    "large": ThroughputConfig(
+        name="large", num_nodes=16, num_cells=16, cpus_per_node=1,
+        shared_frames_per_cell=128, ops_per_wakeup=16,
+        wakeup_gap_ns=30_000, inject_ms=200, recovery_window_ms=250,
+        duration_ms=600),
+}
+
+
+def _exporter(sim: Simulator, cell, client_cell: int, nframes: int,
+              frames_out: List[int], ready):
+    """Allocate ``nframes`` local frames and grant them writable to the
+    neighbour cell through the real firewall-management policy path."""
+    pfs = [cell.pfdats.alloc_frame() for _ in range(nframes)]
+    for pf in pfs:
+        yield from cell.firewall_mgr.grant_write(pf, client_cell)
+        frames_out.append(pf.frame)
+    ready.succeed(frames_out)
+    return None
+
+
+def _traffic(sim: Simulator, system: HiveSystem, cell_id: int, cpu: int,
+             ready, cfg: ThroughputConfig, stop_ns: int, counters: dict):
+    """Issue real coherence reads/ownership requests against the frames
+    the neighbour granted.  Stops when its cell dies or loses access."""
+    frames = yield ready
+    machine = system.machine
+    coh = machine.coherence
+    line = machine.params.cache_line_size
+    page = machine.params.page_size
+    lines_per_page = page // line
+    registry = system.registry
+    # Loop-invariant hoists: the access *sequence* below is identical to
+    # the naive per-access form (frame index advances by one and the
+    # line offset by two per op, since the op counter used to advance
+    # inside the inner loop); only interpreter overhead is hoisted.
+    nframes = len(frames)
+    ops = cfg.ops_per_wakeup
+    gap = cfg.wakeup_gap_ns
+    read = coh.read
+    write = coh.write
+    timeout = sim.timeout
+    is_live = registry.is_live
+    i = 0
+    while sim.now < stop_ns:
+        if not is_live(cell_id):
+            return None
+        lat = 0
+        k = 0
+        try:
+            for k in range(ops):
+                addr = (frames[(i + k) % nframes] * page
+                        + ((i + 2 * k) % lines_per_page) * line)
+                if (i + 2 * k) & 1:
+                    lat += write(cpu, addr)
+                else:
+                    lat += read(cpu, addr)
+        except (BusError, FirewallViolation):
+            # The granter (or this cell's own node) died: the grant was
+            # revoked by preemptive discard.  The driver retires.
+            # ``k`` ops of this wakeup had already completed.
+            counters["accesses"] += k
+            return None
+        counters["accesses"] += ops
+        i += ops
+        yield timeout(lat + gap)
+    return None
+
+
+def _sampler(sim: Simulator, cell, interval_ns: int, stop_ns: int,
+             counters: dict):
+    """The Section 4.2 measurement: sample remotely-writable pages."""
+    while sim.now < stop_ns:
+        if not cell.alive:
+            return None
+        counters["samples"] += 1
+        counters["writable_page_samples"] += \
+            cell.firewall_mgr.remotely_writable_pages()
+        yield sim.timeout(interval_ns)
+    return None
+
+
+def run_throughput(config: str, seed: int = 1995) -> dict:
+    """Run the fixed scenario at one machine size; returns the result row."""
+    cfg = CONFIGS[config]
+    params = HardwareParams(num_nodes=cfg.num_nodes,
+                            cpus_per_node=cfg.cpus_per_node)
+    sim = Simulator(crash_on_process_error=False)
+    boot_wall0 = time.perf_counter()
+    system = boot_hive(sim, num_cells=cfg.num_cells,
+                       machine_config=MachineConfig(params=params,
+                                                    seed=seed))
+    boot_wall = time.perf_counter() - boot_wall0
+    registry = system.registry
+    victim = cfg.num_cells - 1
+    stop_ns = cfg.duration_ms * NS_PER_MS
+    inject_ns = cfg.inject_ms * NS_PER_MS
+    counters = {"accesses": 0, "samples": 0, "writable_page_samples": 0}
+
+    for c in range(cfg.num_cells):
+        cell = registry.cell_object(c)
+        client = (c + 1) % cfg.num_cells
+        frames: List[int] = []
+        ready = sim.event(f"grants{c}")
+        sim.process(_exporter(sim, cell, client, cfg.shared_frames_per_cell,
+                              frames, ready), name=f"exporter{c}")
+        client_cell = registry.cell_object(client)
+        cpu = client_cell.cpu_ids[0]
+        sim.process(_traffic(sim, system, client, cpu, ready, cfg,
+                             stop_ns, counters), name=f"traffic{client}")
+        sim.process(_sampler(sim, cell, cfg.sample_interval_ms * NS_PER_MS,
+                             stop_ns, counters), name=f"sampler{c}")
+
+    system.injector.inject_at(inject_ns, FaultInjector.NODE_FAILURE,
+                              registry.first_node_of(victim),
+                              trigger="throughput-bench")
+
+    wall0 = time.perf_counter()
+    sim.run(until=inject_ns)
+    wall_inject = time.perf_counter()
+    sim.run(until=inject_ns + cfg.recovery_window_ms * NS_PER_MS)
+    wall_recovered = time.perf_counter()
+    sim.run(until=stop_ns)
+    wall_end = time.perf_counter()
+
+    stats = system.machine.coherence.stats
+    coh_accesses = (stats.read_hits + stats.read_misses
+                    + stats.write_hits + stats.write_misses)
+    records = [r for r in system.coordinator.records
+               if victim in r.dead_cells]
+    discarded = sum(r.discarded_pages for r in records)
+    wall_s = wall_end - wall0
+    events = sim.events_processed
+    return {
+        "config": cfg.name,
+        "nodes": cfg.num_nodes,
+        "cells": cfg.num_cells,
+        "cpus_per_node": cfg.cpus_per_node,
+        "seed": seed,
+        "sim_ms": stop_ns / NS_PER_MS,
+        "boot_wall_s": round(boot_wall, 4),
+        "wall_s": round(wall_s, 4),
+        "recovery_wall_ms": round((wall_recovered - wall_inject) * 1e3, 3),
+        "events": events,
+        "events_per_sec": round(events / wall_s, 1),
+        "accesses": coh_accesses,
+        "accesses_per_sec": round(coh_accesses / wall_s, 1),
+        "driver_accesses": counters["accesses"],
+        "writable_page_samples": counters["writable_page_samples"],
+        "samples": counters["samples"],
+        "recovery_detected": bool(records),
+        "discarded_pages": discarded,
+    }
+
+
+def run_suite(configs: Optional[List[str]] = None,
+              seed: int = 1995, repeats: int = 1) -> dict:
+    """Run the scenario at the requested sizes; returns the bench payload.
+
+    With ``repeats > 1`` each config runs that many times and the
+    fastest run is kept (timeit-style best-of: external load only ever
+    slows a run down, so the minimum wall time is the least noisy
+    estimate).  All simulated counters are seed-deterministic and
+    identical across repeats; only the wall-clock figures differ.
+    """
+    names = list(configs) if configs else list(CONFIGS)
+    results = {}
+    for name in names:
+        best = None
+        for _ in range(max(1, repeats)):
+            row = run_throughput(name, seed=seed)
+            if best is None or row["wall_s"] < best["wall_s"]:
+                best = row
+        best["repeats"] = max(1, repeats)
+        results[name] = best
+    return {"schema": BENCH_SCHEMA, "seed": seed, "results": results}
+
+
+def write_bench_file(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench_file(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    validate_payload(payload)
+    return payload
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema check used by the CI bench-smoke job."""
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"bad schema: {payload.get('schema')!r}")
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        raise ValueError("results missing or empty")
+    for name, row in results.items():
+        for key in ("config", "events_per_sec", "accesses_per_sec",
+                    "recovery_wall_ms", "events", "accesses"):
+            if key not in row:
+                raise ValueError(f"result {name!r} missing {key!r}")
+        if row["events"] <= 0 or row["accesses"] <= 0:
+            raise ValueError(f"result {name!r} has empty counters")

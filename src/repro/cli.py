@@ -263,6 +263,34 @@ def cmd_inject(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.throughput import (
+        CONFIGS,
+        run_suite,
+        validate_payload,
+        write_bench_file,
+    )
+
+    names = list(CONFIGS) if args.config == "all" else [args.config]
+    print(f"throughput bench: {', '.join(names)} (seed {args.seed}, "
+          f"best of {args.repeats})")
+    payload = run_suite(names, seed=args.seed, repeats=args.repeats)
+    validate_payload(payload)
+    for name in names:
+        row = payload["results"][name]
+        print(f"{name:>7}: {row['nodes']} nodes / {row['cells']} cells, "
+              f"{row['events']} events, {row['accesses']} accesses in "
+              f"{row['wall_s']:.2f} s wall")
+        print(f"         {row['events_per_sec']:>12,.0f} events/sec  "
+              f"{row['accesses_per_sec']:>12,.0f} accesses/sec  "
+              f"recovery {row['recovery_wall_ms']:.1f} ms wall")
+        if not row["recovery_detected"]:
+            print("         WARNING: fault was not detected/recovered")
+    write_bench_file(args.out, payload)
+    print(f"bench written       : {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -328,6 +356,20 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_inject)
     telemetry(p_inject)
     p_inject.set_defaults(fn=cmd_inject)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure simulator throughput (events/sec, "
+                      "memory accesses/sec) on a fixed fault scenario")
+    p_bench.add_argument("--config",
+                         choices=["small", "medium", "large", "all"],
+                         default="all")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr3.json",
+                         help="output JSON path (default: BENCH_pr3.json)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="runs per config; the fastest is kept "
+                              "(default: 3)")
+    common(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
     return parser
 
 

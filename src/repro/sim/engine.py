@@ -278,6 +278,7 @@ class Simulator:
         #: aborts the whole simulation run.  Fault-injection experiments
         #: set this False so a crashing cell fails only its own processes.
         self.crash_on_process_error = crash_on_process_error
+        self.events_processed: int = 0
 
     # -- scheduling ---------------------------------------------------
 
@@ -295,13 +296,16 @@ class Simulator:
             t, _seq, fn, args = self._queue[0]
             if until is not None and t > until:
                 self.now = until
+                self.events_processed += processed
                 return
             heapq.heappop(self._queue)
             self.now = t
             fn(*args)
             processed += 1
             if processed > max_events:
+                self.events_processed += processed
                 raise SimulationError("event budget exhausted; likely livelock")
+        self.events_processed += processed
         if until is not None:
             self.now = until
 
@@ -319,13 +323,16 @@ class Simulator:
             t, _seq, fn, args = self._queue[0]
             if deadline is not None and t > deadline:
                 self.now = deadline
+                self.events_processed += processed
                 return event.triggered
             heapq.heappop(self._queue)
             self.now = t
             fn(*args)
             processed += 1
             if processed > max_events:
+                self.events_processed += processed
                 raise SimulationError("event budget exhausted; likely livelock")
+        self.events_processed += processed
         return event.triggered
 
     def run_until_complete(self, proc: "Process", deadline: Optional[int] = None) -> Any:
