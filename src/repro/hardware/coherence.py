@@ -136,6 +136,7 @@ class CoherenceController:
             # ("and on most cache line writebacks", Section 4.2).
             if self.memory.firewall_enabled:
                 self.stats.firewall_checks += 1
+                latency += self.params.firewall_check_ns
             st.sharers.add(st.owner)
             st.owner = None
         st.sharers.add(cpu)

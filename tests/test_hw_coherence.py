@@ -64,15 +64,19 @@ class TestProtocol:
         coh.read(1, 0x2000)
         coh.write(0, 0x2000)
         assert coh.stats.invalidations >= 1
-        # The invalidated sharer must now miss.
-        assert coh.read(1, 0x2000) == params.mem_latency_ns
+        # The invalidated sharer must now miss; the line is dirty at the
+        # writer, so the read also pays the writeback firewall check.
+        assert coh.read(1, 0x2000) == (params.mem_latency_ns
+                                       + params.firewall_check_ns)
 
     def test_dirty_remote_intervention_downgrades_owner(self):
         params, _mem, coh = make_coherence()
         addr = params.memory_per_node + 0x2000  # node 1's own memory
         coh.write(1, addr)
-        # Reader fetches from the dirty owner; both end up sharers.
-        assert coh.read(0, addr) == params.mem_latency_ns
+        # Reader fetches from the dirty owner; both end up sharers.  The
+        # owner's writeback passes a firewall check, which is charged.
+        assert coh.read(0, addr) == (params.mem_latency_ns
+                                     + params.firewall_check_ns)
         assert coh.read(1, addr) == params.cycles(1)
 
     def test_clock_line_ping_pong(self):
@@ -80,10 +84,10 @@ class TestProtocol:
         read always misses — the 0.7 us in the careful-reference cost."""
         params, _mem, coh = make_coherence()
         addr = params.memory_per_node + 0x40
-        mem_lat = params.mem_latency_ns
+        miss_lat = params.mem_latency_ns + params.firewall_check_ns
         for _tick in range(5):
             coh.write(1, addr)
-            assert coh.read(0, addr) == mem_lat
+            assert coh.read(0, addr) == miss_lat
 
     def test_remote_write_miss_stats(self):
         params, mem, coh = make_coherence()
