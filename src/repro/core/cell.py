@@ -268,8 +268,14 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
         discarded = 0
         lost_files: Set[tuple] = set()
         for dead_cell in dead:
-            for pf in self.firewall_mgr.frames_writable_by(dead_cell):
-                discarded += self._discard_page(pf, dead_cell, lost_files)
+            working_set = self.firewall_mgr.frames_writable_by(dead_cell)
+            # Batch the cache-line invalidations for the whole discard
+            # set; the per-page bookkeeping follows.
+            self.machine.coherence.invalidate_frames(
+                [pf.frame for pf in working_set])
+            for pf in working_set:
+                discarded += self._discard_page(pf, dead_cell, lost_files,
+                                                invalidate=False)
         # Frames we borrowed from a dead memory home died with it, along
         # with whatever we cached in them.
         for pf in list(self.pfdats.all_pfdats()):
@@ -286,10 +292,11 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
         yield self.sim.timeout(self.costs.discard_per_page_ns * discarded)
         return discarded
 
-    def _discard_page(self, pf, dead_cell: int,
-                      lost_files: Set[tuple]) -> int:
+    def _discard_page(self, pf, dead_cell: int, lost_files: Set[tuple],
+                      invalidate: bool = True) -> int:
         """Discard one potentially-corrupt page."""
-        self.machine.coherence.invalidate_frame(pf.frame)
+        if invalidate:
+            self.machine.coherence.invalidate_frame(pf.frame)
         logical_id = pf.logical_id
         if logical_id is not None:
             tag, idx = logical_id
@@ -331,17 +338,27 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
 
     def _revoke_all_grants(self) -> Generator:
         """Revoke every remote write grant on our frames (no RPCs needed:
-        the firewalls are on our own nodes)."""
+        the firewalls are on our own nodes).  The firewall flips are
+        batched per home node through the bulk-revoke path."""
         revoked = 0
+        frames_by_node: Dict[int, list] = {}
+        params = self.machine.params
         for pf in self.pfdats.all_pfdats():
-            if pf.export_writable and not pf.extended:
-                self.firewall_mgr.revoke_all_local(pf)
-                revoked += 1
             pf.exported_to.clear()
+            if pf.export_writable and not pf.extended:
+                node = params.node_of_frame(pf.frame)
+                if node in self.node_ids:
+                    frames_by_node.setdefault(node, []).append(pf.frame)
+                self.firewall_metrics.counter("bulk_revokes").add()
+                pf.export_writable.clear()
+                revoked += 1
         for pf in self.pfdats.reserved.values():
             if pf.export_writable:
                 self.firewall_mgr.revoke_all_local(pf)
                 revoked += 1
+        for node, frames in frames_by_node.items():
+            self.machine.memory.firewalls[node].bulk_revoke_all_remote(
+                frames, node)
         yield self.sim.timeout(
             (self.machine.params.firewall_update_ns
              + self.machine.params.firewall_revoke_extra_ns) * revoked)

@@ -126,11 +126,9 @@ class FirewallManager:
 
         This is the quantity the paper sampled every 20 ms: ~15 per cell
         under pmake (max 42 on the /tmp file server), ~550 under ocean.
+        O(#reserved) via the table's export index, not O(all frames).
         """
-        count = 0
-        for pf in self.cell.pfdats.all_pfdats():
-            if pf.export_writable and not pf.extended:
-                count += 1
+        count = self.cell.pfdats.export_writable_count()
         for pf in self.cell.pfdats.reserved.values():
             if pf.export_writable:
                 count += 1
@@ -141,14 +139,9 @@ class FirewallManager:
 
         The preemptive-discard working set: includes pages exported
         writable to the cell and frames loaned to it (it holds full
-        control over those).
+        control over those).  O(result) via the writable-by-cell index.
         """
-        out = []
-        for pf in self.cell.pfdats.all_pfdats():
-            if pf.extended:
-                continue
-            if cell_id in pf.export_writable:
-                out.append(pf)
+        out = self.cell.pfdats.writable_by(cell_id)
         for pf in self.cell.pfdats.reserved.values():
             if pf.loaned_to == cell_id or cell_id in pf.export_writable:
                 out.append(pf)

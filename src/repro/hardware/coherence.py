@@ -12,7 +12,8 @@ simulation actually touches, using a simplified MESI protocol:
   set of CPUs, or *owned exclusively* (dirty) by one CPU;
 * a read by a CPU that already caches the line is a cache hit (one cycle);
   any other read is a miss costing the 700 ns FLASH average (fetching from
-  a dirty remote owner also downgrades the owner to shared);
+  a dirty remote owner also downgrades the owner to shared and charges the
+  firewall check the owner's writeback passes);
 * a write by the exclusive owner is a hit; any other write is an ownership
   request: the firewall is checked at the line's home, sharers are
   invalidated, and the full miss latency is charged — plus the firewall
@@ -29,12 +30,19 @@ up-to-date copy was cached on the failed node — the set the memory fault
 model says may be lost.  The fault model also guarantees this set only
 contains lines the failed node was *authorized to write* (firewall), which
 a property test asserts.
+
+Directory state is doubly indexed for the failure paths: per-node sets of
+owned and shared lines make ``frames_with_dirty_lines_owned_by_node`` and
+``drop_node_cache_state`` O(lines the node actually touched) instead of
+O(every line in the directory).  Entries whose state empties out (no
+owner, no sharers) are pruned so the directory never grows monotonically
+across reintegration rounds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
 
 from repro.hardware.interconnect import Interconnect
 from repro.hardware.memory import PhysicalMemory
@@ -42,18 +50,24 @@ from repro.hardware.params import HardwareParams
 from repro.sim.stats import Histogram
 
 
-@dataclass
 class LineState:
     """Directory entry for one 128-byte line."""
 
-    owner: Optional[int] = None      # CPU holding the line dirty/exclusive
-    sharers: Set[int] = field(default_factory=set)
+    __slots__ = ("owner", "sharers")
+
+    def __init__(self, owner: Optional[int] = None,
+                 sharers: Optional[Set[int]] = None):
+        self.owner = owner               # CPU holding the line dirty
+        self.sharers: Set[int] = sharers if sharers is not None else set()
 
     def cached_by(self, cpu: int) -> bool:
         return cpu == self.owner or cpu in self.sharers
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LineState(owner={self.owner}, sharers={self.sharers})"
 
-@dataclass
+
+@dataclass(slots=True)
 class CoherenceStats:
     read_hits: int = 0
     read_misses: int = 0
@@ -79,12 +93,38 @@ class CoherenceController:
     with per-home-node routing is behaviourally identical and simpler.
     """
 
+    __slots__ = (
+        "params", "memory", "interconnect", "_lines", "_owner_lines",
+        "_sharer_lines", "_page_size", "_total_pages", "_total_bytes",
+        "_bytes_per_node", "_line_size", "_lines_per_page",
+        "_pages_per_node", "_cpus_per_node", "_hit_latency",
+        "_firewall_check_ns", "_mem_latency_ns", "stats",
+        "remote_write_hist",
+    )
+
     def __init__(self, params: HardwareParams, memory: PhysicalMemory,
                  interconnect: Interconnect):
         self.params = params
         self.memory = memory
         self.interconnect = interconnect
         self._lines: Dict[int, LineState] = {}
+        # Per-node failure-path indexes: which lines a node's CPUs own
+        # dirty / share.  Maintained on every ownership change so the
+        # node-halt scans are O(touched lines), not O(directory).
+        self._owner_lines: list = [set() for _ in range(params.num_nodes)]
+        self._sharer_lines: list = [set() for _ in range(params.num_nodes)]
+        # Hot-path scalars (the dataclass properties recompute per call).
+        self._page_size = params.page_size
+        self._total_pages = params.total_pages
+        self._total_bytes = params.total_pages * params.page_size
+        self._bytes_per_node = params.pages_per_node * params.page_size
+        self._line_size = params.cache_line_size
+        self._lines_per_page = params.page_size // params.cache_line_size
+        self._pages_per_node = params.pages_per_node
+        self._cpus_per_node = params.cpus_per_node
+        self._hit_latency = params.cycles(1)
+        self._firewall_check_ns = params.firewall_check_ns
+        self._mem_latency_ns = params.mem_latency_ns
         self.stats = CoherenceStats()
         #: latency distribution of remote ownership requests (the traffic
         #: the firewall check sits on); buckets span the sub-us regime.
@@ -95,10 +135,10 @@ class CoherenceController:
     # -- helpers ------------------------------------------------------
 
     def _line_of(self, addr: int) -> int:
-        return addr // self.params.cache_line_size
+        return addr // self._line_size
 
     def _node_of_cpu(self, cpu: int) -> int:
-        return cpu // self.params.cpus_per_node
+        return cpu // self._cpus_per_node
 
     def _state(self, line: int) -> LineState:
         st = self._lines.get(line)
@@ -108,7 +148,7 @@ class CoherenceController:
         return st
 
     def _hit_ns(self) -> int:
-        return self.params.cycles(1)
+        return self._hit_latency
 
     # -- the access protocol --------------------------------------------
 
@@ -118,28 +158,51 @@ class CoherenceController:
         Raises :class:`BusError` if the home node has failed or is cut off
         (delegated to the memory fault model).
         """
-        frame = self.params.frame_of_addr(addr)
         # Touch the fault model: a read of failed memory bus-errors.
-        self.memory._check_readable(frame, cpu)
-        line = self._line_of(addr)
-        st = self._state(line)
-        if st.cached_by(cpu):
-            self.stats.read_hits += 1
-            return self._hit_ns()
-        self.stats.read_misses += 1
-        src_node = self._node_of_cpu(cpu)
-        home_node = self.params.node_of_addr(addr)
-        latency = self.interconnect.miss_latency_ns(src_node, home_node)
-        if st.owner is not None and st.owner != cpu:
+        # Healthy machine + in-range address cannot raise, so the call
+        # (and the frame division) is skipped entirely on the fast path.
+        # During a fault window most accesses still go to healthy homes;
+        # probing the per-node state table inline keeps those off the
+        # slow path too.
+        mem = self.memory
+        if mem._any_faults or addr >= self._total_bytes or addr < 0:
+            if (addr >= self._total_bytes or addr < 0 or
+                    mem._node_state[addr // self._bytes_per_node]):
+                mem._check_readable(addr // self._page_size, cpu)
+        line = addr // self._line_size
+        stats = self.stats
+        lines = self._lines
+        try:
+            st = lines[line]
+        except KeyError:
+            st = LineState()
+            lines[line] = st
+        else:
+            if cpu == st.owner or cpu in st.sharers:
+                stats.read_hits += 1
+                return self._hit_latency
+        stats.read_misses += 1
+        src_node = cpu // self._cpus_per_node
+        ic = self.interconnect
+        if ic.hop_sensitive:
+            latency = ic.miss_latency_ns(src_node, addr // self._bytes_per_node)
+        else:
+            latency = self._mem_latency_ns
+        owner = st.owner
+        if owner is not None and owner != cpu:
             # Dirty remote intervention: owner is downgraded to shared.
             # A writeback from the owner's cache passes a firewall check
             # ("and on most cache line writebacks", Section 4.2).
-            if self.memory.firewall_enabled:
-                self.stats.firewall_checks += 1
-                latency += self.params.firewall_check_ns
-            st.sharers.add(st.owner)
+            if mem.firewall_enabled:
+                stats.firewall_checks += 1
+                latency += self._firewall_check_ns
+            owner_node = owner // self._cpus_per_node
+            self._owner_lines[owner_node].discard(line)
+            st.sharers.add(owner)
+            self._sharer_lines[owner_node].add(line)
             st.owner = None
         st.sharers.add(cpu)
+        self._sharer_lines[src_node].add(line)
         return latency
 
     def write(self, cpu: int, addr: int) -> int:
@@ -149,31 +212,64 @@ class CoherenceController:
         ownership request; a rejected write raises
         :class:`~repro.hardware.errors.FirewallViolation`.
         """
-        frame = self.params.frame_of_addr(addr)
-        line = self._line_of(addr)
-        st = self._state(line)
-        if st.owner == cpu:
-            self.stats.write_hits += 1
-            return self._hit_ns()
+        frame = addr // self._page_size
+        line = addr // self._line_size
+        stats = self.stats
+        lines = self._lines
+        try:
+            st = lines[line]
+        except KeyError:
+            st = LineState()
+            lines[line] = st
+        else:
+            if st.owner == cpu:
+                stats.write_hits += 1
+                return self._hit_latency
         # Ownership request: fault-model checks (failure + firewall).
-        self.memory._check_writable(frame, cpu)
-        self.stats.write_misses += 1
-        src_node = self._node_of_cpu(cpu)
-        home_node = self.params.node_of_addr(addr)
-        latency = self.interconnect.miss_latency_ns(src_node, home_node)
-        if self.memory.firewall_enabled:
-            self.stats.firewall_checks += 1
-            latency += self.params.firewall_check_ns
+        # When neither the home nor the writer's node is in a fault
+        # state, only the firewall can reject, so call it directly
+        # instead of going through the memory wrapper.
+        mem = self.memory
+        home_node = frame // self._pages_per_node
+        src_node = cpu // self._cpus_per_node
+        if mem._any_faults or frame >= self._total_pages or frame < 0:
+            if (frame >= self._total_pages or frame < 0 or
+                    mem._node_state[home_node] or mem._node_state[src_node]):
+                mem._check_writable(frame, cpu)
+            elif mem.firewall_enabled:
+                mem.firewalls[home_node].check_write(frame, cpu)
+        elif mem.firewall_enabled:
+            mem.firewalls[home_node].check_write(frame, cpu)
+        stats.write_misses += 1
+        ic = self.interconnect
+        if ic.hop_sensitive:
+            latency = ic.miss_latency_ns(src_node, home_node)
+        else:
+            latency = self._mem_latency_ns
+        if mem.firewall_enabled:
+            stats.firewall_checks += 1
+            latency += self._firewall_check_ns
         if src_node != home_node:
-            self.stats.remote_write_misses += 1
-            self.stats.remote_write_miss_ns_total += latency
+            stats.remote_write_misses += 1
+            stats.remote_write_miss_ns_total += latency
             self.remote_write_hist.record(latency)
-        invalidated = {c for c in st.sharers if c != cpu}
-        if st.owner is not None and st.owner != cpu:
-            invalidated.add(st.owner)
-        self.stats.invalidations += len(invalidated)
-        st.sharers.clear()
+        cpus_per_node = self._cpus_per_node
+        old_owner = st.owner
+        sharers = st.sharers
+        invalidated = len(sharers) - (1 if cpu in sharers else 0)
+        if old_owner is not None and old_owner != cpu and \
+                old_owner not in sharers:
+            invalidated += 1
+        stats.invalidations += invalidated
+        if sharers:
+            sharer_index = self._sharer_lines
+            for sharer in sharers:
+                sharer_index[sharer // cpus_per_node].discard(line)
+            sharers.clear()
+        if old_owner is not None:
+            self._owner_lines[old_owner // cpus_per_node].discard(line)
         st.owner = cpu
+        self._owner_lines[src_node].add(line)
         return latency
 
     # -- failure interaction -----------------------------------------------
@@ -184,33 +280,71 @@ class CoherenceController:
         These are the lines the memory fault model declares lost when the
         node fails.  By construction (the firewall is checked on every
         ownership request) every such frame was writable by the node.
+        O(lines the node owns) via the per-node owner index.
         """
-        lo = node * self.params.cpus_per_node
-        hi = lo + self.params.cpus_per_node
-        frames: Set[int] = set()
-        bytes_per_line = self.params.cache_line_size
-        for line, st in self._lines.items():
-            if st.owner is not None and lo <= st.owner < hi:
-                frames.add((line * bytes_per_line) // self.params.page_size)
-        return frames
+        owned = self._owner_lines[node]
+        if not owned:
+            return set()
+        lines_per_page = self._lines_per_page
+        return {line // lines_per_page for line in owned}
 
     def drop_node_cache_state(self, node: int) -> None:
-        """Forget all cache state of a failed/rebooted node's CPUs."""
-        lo = node * self.params.cpus_per_node
-        hi = lo + self.params.cpus_per_node
-        for st in self._lines.values():
-            if st.owner is not None and lo <= st.owner < hi:
-                st.owner = None
+        """Forget all cache state of a failed/rebooted node's CPUs.
+
+        Entries left with no owner and no sharers are removed entirely,
+        so repeated failure/reintegration rounds cannot grow ``_lines``.
+        """
+        lo = node * self._cpus_per_node
+        hi = lo + self._cpus_per_node
+        lines = self._lines
+        owned, self._owner_lines[node] = self._owner_lines[node], set()
+        for line in owned:
+            st = lines.get(line)
+            if st is None:
+                continue
+            st.owner = None
+            if not st.sharers:
+                del lines[line]
+        shared, self._sharer_lines[node] = self._sharer_lines[node], set()
+        for line in shared:
+            st = lines.get(line)
+            if st is None:
+                continue
             st.sharers = {c for c in st.sharers if not lo <= c < hi}
+            if st.owner is None and not st.sharers:
+                del lines[line]
 
     def invalidate_frame(self, frame: int) -> None:
         """Invalidate every cached line of a frame (used by discard)."""
-        page_size = self.params.page_size
-        line_size = self.params.cache_line_size
-        first = frame * page_size // line_size
-        for line in range(first, first + page_size // line_size):
-            st = self._lines.get(line)
-            if st is not None:
-                self.stats.invalidations += len(st.sharers)
-                st.owner = None
-                st.sharers.clear()
+        self.invalidate_frames((frame,))
+
+    def invalidate_frames(self, frames: Iterable[int]) -> None:
+        """Batched :meth:`invalidate_frame` over many frames.
+
+        One pass over the discard set with the per-line bookkeeping
+        hoisted; invalidated entries are pruned from the directory.
+        """
+        lines_per_page = self._lines_per_page
+        cpus_per_node = self._cpus_per_node
+        lines = self._lines
+        stats = self.stats
+        owner_index = self._owner_lines
+        sharer_index = self._sharer_lines
+        for frame in frames:
+            first = frame * lines_per_page
+            for line in range(first, first + lines_per_page):
+                st = lines.get(line)
+                if st is None:
+                    continue
+                stats.invalidations += len(st.sharers)
+                if st.owner is not None:
+                    owner_index[st.owner // cpus_per_node].discard(line)
+                for sharer in st.sharers:
+                    sharer_index[sharer // cpus_per_node].discard(line)
+                del lines[line]
+
+    # -- introspection -----------------------------------------------------
+
+    def directory_size(self) -> int:
+        """Number of live directory entries (soak tests watch this)."""
+        return len(self._lines)

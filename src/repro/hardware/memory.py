@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.hardware.errors import (
     BusError,
     FirewallViolation,
@@ -42,6 +44,13 @@ ZERO_PAGE = b"\x00" * 4096
 class PhysicalMemory:
     """All of main memory, with per-node failure state and firewalls."""
 
+    __slots__ = (
+        "params", "firewall_enabled", "firewalls", "_pages",
+        "_failed_nodes", "_cutoff_nodes", "_total_pages",
+        "_pages_per_node", "_cpus_per_node", "_any_faults",
+        "_node_state", "_zero",
+    )
+
     def __init__(self, params: HardwareParams,
                  firewall_factory=NodeFirewall,
                  firewall_enabled: bool = True):
@@ -53,6 +62,18 @@ class PhysicalMemory:
         self._pages: Dict[int, bytes] = {}
         self._failed_nodes: set[int] = set()
         self._cutoff_nodes: set[int] = set()
+        # Hot-path scalars: the dataclass properties behind these
+        # recompute on every access, and the access-check path runs on
+        # every simulated memory reference.
+        self._total_pages = params.total_pages
+        self._pages_per_node = params.pages_per_node
+        self._cpus_per_node = params.cpus_per_node
+        #: False while no node is failed or cut off — the coherence fast
+        #: path checks this one flag instead of two sets per access.
+        self._any_faults = False
+        #: per-node fault state (0 healthy, 1 failed, 2 cutoff): one list
+        #: index on the degraded-machine path instead of set probes.
+        self._node_state = [0] * params.num_nodes
         if params.page_size != len(ZERO_PAGE):
             self._zero = b"\x00" * params.page_size
         else:
@@ -63,6 +84,8 @@ class PhysicalMemory:
     def fail_node(self, node: int) -> None:
         """Fail-stop the memory of ``node`` (node halt or range failure)."""
         self._failed_nodes.add(node)
+        self._any_faults = True
+        self._node_state[node] = 1
 
     def revive_node(self, node: int) -> None:
         """Bring a node's memory back after diagnostics pass (reintegration).
@@ -72,9 +95,20 @@ class PhysicalMemory:
         """
         self._failed_nodes.discard(node)
         self._cutoff_nodes.discard(node)
+        self._any_faults = bool(self._failed_nodes or self._cutoff_nodes)
+        self._node_state[node] = 0
         self.firewalls[node].reset()
-        for frame in self.params.node_frame_range(node):
-            self._pages.pop(frame, None)
+        # Bulk-clear the node's resident pages: select the keys inside
+        # the node's frame range vectorized instead of probing all
+        # ``pages_per_node`` frames one by one.
+        if self._pages:
+            frame_range = self.params.node_frame_range(node)
+            keys = np.fromiter(self._pages.keys(), dtype=np.int64,
+                               count=len(self._pages))
+            resident = keys[(keys >= frame_range.start)
+                            & (keys < frame_range.stop)]
+            for frame in resident.tolist():
+                del self._pages[frame]
 
     def node_failed(self, node: int) -> bool:
         return node in self._failed_nodes
@@ -82,6 +116,10 @@ class PhysicalMemory:
     def engage_cutoff(self, node: int) -> None:
         """Cut off all *remote* access to this node's memory (cell panic)."""
         self._cutoff_nodes.add(node)
+        self._any_faults = True
+        # A node can be both failed and cut off; failed takes precedence.
+        if self._node_state[node] == 0:
+            self._node_state[node] = 2
 
     def cutoff_engaged(self, node: int) -> bool:
         return node in self._cutoff_nodes
@@ -89,19 +127,27 @@ class PhysicalMemory:
     # -- access checks ---------------------------------------------------
 
     def _home_node(self, frame: int) -> int:
-        if not 0 <= frame < self.params.total_pages:
+        if not 0 <= frame < self._total_pages:
             raise InvalidPhysicalAddress(frame * self.params.page_size)
-        return self.params.node_of_frame(frame)
+        return frame // self._pages_per_node
 
     def _check_readable(self, frame: int, reader_cpu: Optional[int]) -> int:
-        home = self._home_node(frame)
-        if home in self._failed_nodes:
+        if not 0 <= frame < self._total_pages:
+            raise InvalidPhysicalAddress(frame * self.params.page_size)
+        home = frame // self._pages_per_node
+        # Fast path: a healthy machine has no failed/cutoff nodes.
+        if not self._any_faults:
+            return home
+        state = self._node_state[home]
+        if state == 0:
+            return home
+        if state == 1 or home in self._failed_nodes:
             raise BusError(
                 f"read of frame {frame}: node {home} failed",
                 addr=frame * self.params.page_size, node=home,
             )
-        if home in self._cutoff_nodes and reader_cpu is not None:
-            reader_node = reader_cpu // self.params.cpus_per_node
+        if reader_cpu is not None:
+            reader_node = reader_cpu // self._cpus_per_node
             if reader_node != home:
                 raise BusError(
                     f"read of frame {frame}: node {home} cutoff engaged",
@@ -112,7 +158,7 @@ class PhysicalMemory:
     def _check_writable(self, frame: int, writer_cpu: Optional[int]) -> int:
         home = self._check_readable(frame, writer_cpu)
         if writer_cpu is not None:
-            writer_node = writer_cpu // self.params.cpus_per_node
+            writer_node = writer_cpu // self._cpus_per_node
             if writer_node in self._failed_nodes:
                 raise BusError(
                     f"write by cpu {writer_cpu}: its node has failed",

@@ -86,8 +86,17 @@ class Event:
         self._ok = ok
         self._value = value
         callbacks, self._callbacks = self._callbacks, None
+        # Inlined sim.schedule(0, cb, self): triggering is the hottest
+        # scheduling site and the delay is a constant zero.
+        sim = self.sim
+        now = sim.now
+        queue = sim._queue
+        seq = sim._seq
+        args = (self,)
         for cb in callbacks:
-            self.sim.schedule(0, cb, self)
+            seq += 1
+            heapq.heappush(queue, (now, seq, cb, args))
+        sim._seq = seq
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         if self._callbacks is None:
@@ -107,16 +116,47 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers automatically after a fixed delay."""
+    """An event that triggers automatically after a fixed delay.
 
-    __slots__ = ("delay",)
+    Timeouts are the highest-churn objects in the simulation, so the
+    engine recycles them: once a timeout's single waiter has consumed
+    it, :meth:`Process._resume` returns it to the simulator's pool and
+    the next ``sim.timeout()`` call reinitializes it instead of
+    allocating.  ``_cb_seen`` counts callbacks ever attached — a timeout
+    is only recycled when exactly one waiter (the resuming process) ever
+    saw it, so shared timeouts (``any_of``/``all_of`` children, stored
+    references that gain late callbacks) are never reused.
+    """
+
+    __slots__ = ("delay", "_cb_seen")
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        super().__init__(
+            sim, name=f"timeout({delay})" if sim.trace_names else "timeout")
         self.delay = delay
+        self._cb_seen = 0
         sim.schedule(delay, self._expire, value)
+
+    def _reinit(self, delay: int, value: Any) -> "Timeout":
+        """Reset a pooled timeout for reuse (mirrors ``__init__``)."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        if self.sim.trace_names:
+            self.name = f"timeout({delay})"
+        self.delay = delay
+        self._callbacks = []
+        self._triggered = False
+        self._ok = True
+        self._value = None
+        self._cb_seen = 0
+        self.sim.schedule(delay, self._expire, value)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        self._cb_seen += 1
+        Event.add_callback(self, cb)
 
     def _expire(self, value: Any) -> None:
         if not self._triggered:
@@ -215,11 +255,14 @@ class Process(Event):
             self._waiting_on = None
             self.sim.schedule(0, self._deliver_interrupt)
 
+    # ``_step`` op codes: resume the generator with next/send/throw.
+    _OP_NEXT, _OP_SEND, _OP_THROW = 0, 1, 2
+
     def _deliver_interrupt(self, _ev: Any = None) -> None:
         if self._triggered or not self._interrupts:
             return
         exc = self._interrupts.pop(0)
-        self._step(lambda: self.gen.throw(exc))
+        self._step(Process._OP_THROW, exc)
 
     def _resume(self, ev: Optional[Event]) -> None:
         if self._triggered:
@@ -230,16 +273,29 @@ class Process(Event):
             self.sim.schedule(0, self._deliver_interrupt)
             return
         if ev is None:
-            self._step(lambda: next(self.gen))
+            self._step(Process._OP_NEXT, None)
         elif ev.ok:
-            self._step(lambda: self.gen.send(ev.value))
+            if type(ev) is Timeout and ev._cb_seen == 1:
+                # This process was the timeout's only waiter ever; the
+                # engine holds no further references, so recycle it.
+                value = ev._value
+                self.sim._timeout_pool.append(ev)
+                self._step(Process._OP_SEND, value)
+            else:
+                self._step(Process._OP_SEND, ev.value)
         else:
-            self._step(lambda: self.gen.throw(ev._value))
+            self._step(Process._OP_THROW, ev._value)
 
-    def _step(self, advance: Callable[[], Event]) -> None:
+    def _step(self, op: int, arg: Any) -> None:
         self.sim._active_process, previous = self, self.sim._active_process
         try:
-            target = advance()
+            gen = self.gen
+            if op == 1:
+                target = gen.send(arg)
+            elif op == 0:
+                target = next(gen)
+            else:
+                target = gen.throw(arg)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -278,7 +334,14 @@ class Simulator:
         #: aborts the whole simulation run.  Fault-injection experiments
         #: set this False so a crashing cell fails only its own processes.
         self.crash_on_process_error = crash_on_process_error
+        #: total events dispatched over the simulator's lifetime, across
+        #: all run calls (the throughput benchmark's events/sec numerator).
         self.events_processed: int = 0
+        #: when True, events get descriptive formatted names (debugging);
+        #: off by default so hot paths skip the f-string formatting.
+        self.trace_names: bool = False
+        # Recycled Timeout objects (see Timeout's docstring).
+        self._timeout_pool: list = []
 
     # -- scheduling ---------------------------------------------------
 
@@ -292,15 +355,18 @@ class Simulator:
     def run(self, until: Optional[int] = None, max_events: int = 200_000_000) -> None:
         """Process events until the queue drains or ``until`` is reached."""
         processed = 0
-        while self._queue:
-            t, _seq, fn, args = self._queue[0]
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            t = entry[0]
             if until is not None and t > until:
                 self.now = until
                 self.events_processed += processed
                 return
-            heapq.heappop(self._queue)
+            heappop(queue)
             self.now = t
-            fn(*args)
+            entry[2](*entry[3])
             processed += 1
             if processed > max_events:
                 self.events_processed += processed
@@ -323,8 +389,7 @@ class Simulator:
             t, _seq, fn, args = self._queue[0]
             if deadline is not None and t > deadline:
                 self.now = deadline
-                self.events_processed += processed
-                return event.triggered
+                break
             heapq.heappop(self._queue)
             self.now = t
             fn(*args)
@@ -353,6 +418,9 @@ class Simulator:
         return Event(self, name)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            return pool.pop()._reinit(delay, value)
         return Timeout(self, delay, value)
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:

@@ -32,6 +32,7 @@ class Mutex:
     def __init__(self, sim: Simulator, name: str = "mutex"):
         self.sim = sim
         self.name = name
+        self._acquire_name = name + ".acquire"
         self._locked = False
         self._waiters: Deque[Event] = deque()
         #: number of acquisitions that had to wait (contention metric)
@@ -43,7 +44,7 @@ class Mutex:
         return self._locked
 
     def acquire(self) -> Event:
-        ev = self.sim.event(f"{self.name}.acquire")
+        ev = Event(self.sim, self._acquire_name)
         self.total_acquires += 1
         if not self._locked:
             self._locked = True
@@ -79,6 +80,7 @@ class Semaphore:
             raise SimulationError("semaphore initial value must be >= 0")
         self.sim = sim
         self.name = name
+        self._down_name = name + ".down"
         self._value = value
         self._waiters: Deque[Event] = deque()
 
@@ -87,7 +89,7 @@ class Semaphore:
         return self._value
 
     def down(self) -> Event:
-        ev = self.sim.event(f"{self.name}.down")
+        ev = Event(self.sim, self._down_name)
         if self._value > 0:
             self._value -= 1
             ev.succeed()
@@ -114,6 +116,7 @@ class Resource:
             raise SimulationError("resource capacity must be >= 1")
         self.sim = sim
         self.name = name
+        self._request_name = name + ".request"
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
@@ -127,7 +130,7 @@ class Resource:
         return self.capacity - self._in_use
 
     def request(self) -> Event:
-        ev = self.sim.event(f"{self.name}.request")
+        ev = Event(self.sim, self._request_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
@@ -162,6 +165,8 @@ class FifoStore:
     ):
         self.sim = sim
         self.name = name
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
         self.capacity = capacity
         self.block_on_full = block_on_full
         self._items: Deque[Any] = deque()
@@ -186,7 +191,7 @@ class FifoStore:
         return True
 
     def put(self, item: Any) -> Event:
-        ev = self.sim.event(f"{self.name}.put")
+        ev = Event(self.sim, self._put_name)
         if self.is_full:
             if not self.block_on_full:
                 self.rejected_puts += 1
@@ -206,7 +211,7 @@ class FifoStore:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.sim.event(f"{self.name}.get")
+        ev = Event(self.sim, self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             if self._putters and not self.is_full:

@@ -30,6 +30,63 @@ from repro.unix.kheap import KObject
 LogicalId = Tuple[tuple, int]
 
 
+class _ExportSet(set):
+    """``pf.export_writable`` with index maintenance built in.
+
+    Every mutation notifies the owning :class:`PfdatTable` so its
+    writable-by-cell index stays exact without touching any of the many
+    call sites that add/discard/clear grantees.  A pfdat outside any
+    table (``pf.table is None``) behaves as a plain set.
+    """
+
+    __slots__ = ("pf",)
+
+    def __init__(self, pf: "Pfdat"):
+        super().__init__()
+        self.pf = pf
+
+    def add(self, cell_id: int) -> None:
+        if cell_id not in self:
+            set.add(self, cell_id)
+            table = self.pf.table
+            if table is not None:
+                table._export_added(self.pf, cell_id)
+
+    def discard(self, cell_id: int) -> None:
+        if cell_id in self:
+            set.discard(self, cell_id)
+            table = self.pf.table
+            if table is not None:
+                table._export_removed(self.pf, cell_id)
+
+    def remove(self, cell_id: int) -> None:
+        set.remove(self, cell_id)
+        table = self.pf.table
+        if table is not None:
+            table._export_removed(self.pf, cell_id)
+
+    def clear(self) -> None:
+        if self:
+            grantees = list(self)
+            set.clear(self)
+            table = self.pf.table
+            if table is not None:
+                for cell_id in grantees:
+                    table._export_removed(self.pf, cell_id)
+
+    def update(self, *others) -> None:
+        for other in others:
+            for cell_id in other:
+                self.add(cell_id)
+
+    def pop(self) -> int:
+        cell_id = set.pop(self)
+        table = self.pf.table
+        if table is not None:
+            table._export_removed(self.pf, cell_id)
+        return cell_id
+
+
 class Pfdat(KObject):
     """One page-frame descriptor."""
 
@@ -40,7 +97,7 @@ class Pfdat(KObject):
         # physical-level sharing state (Figure 5.3b)
         "loaned_to", "borrowed_from",
         # bookkeeping
-        "extended", "on_free_list",
+        "extended", "on_free_list", "table", "seq",
     )
 
     def __init__(self, frame: int, extended: bool = False):
@@ -53,7 +110,7 @@ class Pfdat(KObject):
         # Logical level: which client cells import this page (data-home
         # side), or which cell is the data home (client side).
         self.exported_to: Set[int] = set()
-        self.export_writable: Set[int] = set()
+        self.export_writable: Set[int] = _ExportSet(self)
         self.imported_from: Optional[int] = None
         # Physical level: frame loaned out (memory-home side) or borrowed
         # (data-home side).
@@ -61,6 +118,11 @@ class Pfdat(KObject):
         self.borrowed_from: Optional[int] = None
         self.extended = extended
         self.on_free_list = False
+        #: owning table and its insertion sequence number (the position
+        #: in ``_by_frame``, which index queries sort by to reproduce
+        #: the exact iteration order of the old full scans).
+        self.table: Optional["PfdatTable"] = None
+        self.seq = 0
 
     @property
     def is_shared_logically(self) -> bool:
@@ -88,10 +150,19 @@ class PfdatTable:
         self._hash: Dict[LogicalId, Pfdat] = {}
         self._free: Deque[int] = deque()
         self.owned_frames: Set[int] = set()
+        self._seq = 0
+        # Writable-by-cell index over the *regular* (non-extended)
+        # pfdats: grantee cell -> {frame: pfdat}.  Maintained by
+        # ``_ExportSet`` so preemptive discard's working-set query is
+        # O(result) instead of O(all frames).
+        self._writable_by: Dict[int, Dict[int, Pfdat]] = {}
+        #: regular pfdats with any grantee at all (the Section 4.2
+        #: remotely-writable sample), frame -> pfdat.
+        self._exported: Dict[int, Pfdat] = {}
         for frame in owned_frames:
             pf = Pfdat(frame)
             pf.on_free_list = True
-            self._by_frame[frame] = pf
+            self._adopt(pf)
             self._free.append(frame)
             self.owned_frames.add(frame)
         #: frames this kernel has loaned out: parked on a reserved list,
@@ -100,6 +171,44 @@ class PfdatTable:
         self.reserved: Dict[int, Pfdat] = {}
         self.lookups = 0
         self.hits = 0
+
+    # -- writable-by-cell index -------------------------------------------
+
+    def _adopt(self, pf: Pfdat) -> None:
+        """Insert a pfdat into ``_by_frame``, recording its position."""
+        pf.table = self
+        pf.seq = self._seq
+        self._seq += 1
+        self._by_frame[pf.frame] = pf
+
+    def _export_added(self, pf: Pfdat, cell_id: int) -> None:
+        if pf.extended:
+            return
+        self._writable_by.setdefault(cell_id, {})[pf.frame] = pf
+        self._exported[pf.frame] = pf
+
+    def _export_removed(self, pf: Pfdat, cell_id: int) -> None:
+        if pf.extended:
+            return
+        grantees = self._writable_by.get(cell_id)
+        if grantees is not None:
+            grantees.pop(pf.frame, None)
+            if not grantees:
+                del self._writable_by[cell_id]
+        if not pf.export_writable:
+            self._exported.pop(pf.frame, None)
+
+    def writable_by(self, cell_id: int) -> List[Pfdat]:
+        """Regular pfdats granting write access to ``cell_id``, in the
+        same order the old full table scan produced (O(result))."""
+        grantees = self._writable_by.get(cell_id)
+        if not grantees:
+            return []
+        return sorted(grantees.values(), key=lambda pf: pf.seq)
+
+    def export_writable_count(self) -> int:
+        """How many regular pfdats have any remote write grantee."""
+        return len(self._exported)
 
     # -- hash table -------------------------------------------------------
 
@@ -183,7 +292,7 @@ class PfdatTable:
         if frame in self._by_frame:
             raise ValueError(f"extended pfdat for frame {frame} exists")
         pf = Pfdat(frame, extended=True)
-        self._by_frame[frame] = pf
+        self._adopt(pf)
         return pf
 
     def release_extended(self, pf: Pfdat) -> None:

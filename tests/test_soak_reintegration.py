@@ -82,6 +82,7 @@ class TestReintegrationSoak:
                 job, workload.job_program(job, results), f"soak{job}")
             threads.append(t.sim_process)
 
+        directory_sizes = []
         for cycle, victim in enumerate((3, 2, 1)):
             sim.run(until=sim.now + 500_000_000)
             hive.machine.halt_node(victim)
@@ -91,6 +92,14 @@ class TestReintegrationSoak:
                 f"cycle {cycle}: cell {victim} did not reintegrate"
             problems = check_system(hive)
             assert problems == [], f"cycle {cycle}: {problems[:3]}"
+            directory_sizes.append(hive.machine.coherence.directory_size())
+
+        # Emptied directory entries must be pruned, not left behind: the
+        # line directory may not grow monotonically across reintegration
+        # rounds (it used to leak one dead entry per invalidated line).
+        assert not (directory_sizes[0] < directory_sizes[1]
+                    < directory_sizes[2]), directory_sizes
+        assert directory_sizes[-1] <= directory_sizes[0], directory_sizes
 
         sim.run_until_event(sim.all_of(threads),
                             deadline=sim.now + 600_000_000_000)
