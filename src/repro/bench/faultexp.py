@@ -23,7 +23,7 @@ the correctness check completes, and no output file is corrupt.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.hive import HiveSystem, boot_hive
@@ -83,6 +83,14 @@ class FaultTrialResult:
         if self.last_entry_latency_ns is None:
             return None
         return self.last_entry_latency_ns / 1e6
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for cross-process campaign shards."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultTrialResult":
+        return cls(**payload)
 
 
 @dataclass

@@ -1,0 +1,298 @@
+"""Process-parallel campaign runner for benchmarks and fault injection.
+
+The paper's evaluation sweeps many machine sizes and many fault
+scenarios (Tables 7.2-7.4); each cell of such a sweep is an isolated,
+seed-deterministic simulation, so the sweep parallelizes perfectly
+across processes.  This module shards ``(config, seed, repeat)`` /
+``(scenario, seed)`` cells over a ``multiprocessing`` pool and merges
+the per-shard JSON payloads into one report.
+
+Design rules:
+
+* every worker is a module-level function taking one picklable tuple,
+  so the pool works under both ``fork`` and ``spawn`` start methods;
+* a worker never raises — it returns an ``{"status": "error"}`` shard
+  carrying the traceback, so one crashed cell doesn't kill the sweep
+  and the merged report can say exactly which cell failed;
+* the merger *verifies* determinism: repeats of the same cell must
+  agree on every simulated counter, and two shards claiming the same
+  cell are an error, not a silent overwrite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.faultexp import (
+    PAPER_TABLE_7_4,
+    FaultExperimentRunner,
+    FaultTrialResult,
+    ScenarioSummary,
+)
+from repro.bench.throughput import BENCH_SCHEMA, CONFIGS, run_throughput
+
+
+class CampaignError(RuntimeError):
+    """A campaign produced shards that cannot be merged coherently."""
+
+
+#: simulated counters that must be identical across repeats of one cell
+DETERMINISTIC_KEYS = ("events", "accesses", "driver_accesses",
+                      "discarded_pages", "writable_page_samples", "samples")
+
+
+def _pool_context():
+    """Prefer ``fork`` (no re-import cost); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _effective_workers(requested: int) -> int:
+    """Cap the pool at the machine's core count.
+
+    Each shard is a CPU-bound single-threaded simulation, so running
+    more of them than there are cores only adds contention: every
+    shard's wall clock (and thus its reported events/sec) inflates
+    while the campaign finishes no sooner.  ``--parallel 8`` on a
+    2-core box therefore behaves like ``make -j``: up to 8, bounded
+    by the hardware.
+    """
+    return max(1, min(requested, os.cpu_count() or requested))
+
+
+# -- throughput bench campaign ---------------------------------------------
+
+
+def _bench_shard_worker(shard: Tuple[str, int, int, Optional[bool]]) -> dict:
+    """One (config, seed, repeat) cell; runs in a pool worker process."""
+    config, seed, repeat, batch = shard
+    try:
+        row = run_throughput(config, seed=seed, batch=batch)
+        return {"status": "ok", "config": config, "seed": seed,
+                "repeat": repeat, "row": row}
+    except Exception:
+        return {"status": "error", "config": config, "seed": seed,
+                "repeat": repeat, "error": traceback.format_exc()}
+
+
+def merge_bench_shards(shards: Sequence[dict], seed: int,
+                       repeats: int) -> dict:
+    """Merge bench shard payloads into one ``run_suite``-shaped report.
+
+    Raises :class:`CampaignError` for an empty shard list, for two
+    shards claiming the same ``(config, repeat)`` cell, and for repeats
+    of one config that disagree on a simulated counter (determinism
+    violation).  Failed shards are reported under ``"failures"`` rather
+    than raising, so a sweep with one crashed cell still yields the
+    other cells' results plus a diagnosis.
+    """
+    if not shards:
+        raise CampaignError("no shards to merge (empty campaign)")
+    seen: set = set()
+    by_config: Dict[str, List[dict]] = {}
+    failures: List[dict] = []
+    for shard in shards:
+        key = (shard["config"], shard["repeat"])
+        if key in seen:
+            raise CampaignError(
+                f"overlapping shards for cell {key!r}: each "
+                f"(config, repeat) must be produced exactly once")
+        seen.add(key)
+        if shard["status"] != "ok":
+            failures.append({"config": shard["config"],
+                             "seed": shard["seed"],
+                             "repeat": shard["repeat"],
+                             "error": shard.get("error", "unknown")})
+            continue
+        by_config.setdefault(shard["config"], []).append(shard)
+    results = {}
+    for config, cells in by_config.items():
+        cells.sort(key=lambda s: s["repeat"])
+        best = None
+        walls: List[float] = []
+        for cell in cells:
+            row = cell["row"]
+            walls.append(row["wall_s"])
+            if best is None:
+                best = row
+                continue
+            for key in DETERMINISTIC_KEYS:
+                if row[key] != best[key]:
+                    raise CampaignError(
+                        f"non-deterministic repeats for {config!r}: "
+                        f"{key} {row[key]} != {best[key]} "
+                        f"(repeat {cell['repeat']})")
+            if row["wall_s"] < best["wall_s"]:
+                best = row
+        best["repeats"] = repeats
+        best["wall_s_min"] = round(min(walls), 4)
+        best["wall_s_max"] = round(max(walls), 4)
+        best["wall_s_mean"] = round(sum(walls) / len(walls), 4)
+        results[config] = best
+    payload = {"schema": BENCH_SCHEMA, "seed": seed, "results": results}
+    if failures:
+        payload["failures"] = failures
+    return payload
+
+
+def run_bench_campaign(configs: Optional[List[str]] = None,
+                       seed: int = 1995, repeats: int = 1,
+                       workers: int = 2,
+                       batch: Optional[bool] = None) -> dict:
+    """Shard the throughput suite across a process pool and merge.
+
+    Returns the merged ``run_suite``-shaped payload plus a
+    ``"parallel"`` section recording the pool size, the campaign wall
+    clock, and the summed per-shard wall clock (the serial-equivalent
+    cost the pool amortized).
+    """
+    names = list(configs) if configs else list(CONFIGS)
+    repeats = max(1, repeats)
+    shards = [(name, seed, r, batch)
+              for name in names for r in range(repeats)]
+    # Longest shards first so the big config doesn't trail the pool.
+    shards.sort(key=lambda s: CONFIGS[s[0]].num_nodes
+                * CONFIGS[s[0]].duration_ms, reverse=True)
+    procs = _effective_workers(workers)
+    wall0 = time.perf_counter()
+    if procs <= 1:
+        raw = [_bench_shard_worker(s) for s in shards]
+    else:
+        with _pool_context().Pool(processes=procs) as pool:
+            raw = pool.map(_bench_shard_worker, shards, chunksize=1)
+    campaign_wall = time.perf_counter() - wall0
+    payload = merge_bench_shards(raw, seed=seed, repeats=repeats)
+    shard_walls = [s["row"]["wall_s"] + s["row"]["boot_wall_s"]
+                   for s in raw if s["status"] == "ok"]
+    payload["parallel"] = {
+        "workers": workers,
+        "effective_workers": procs,
+        "shards": len(shards),
+        "campaign_wall_s": round(campaign_wall, 4),
+        "shard_wall_s_total": round(sum(shard_walls), 4),
+        "cpu_count": os.cpu_count(),
+    }
+    return payload
+
+
+# -- fault-injection campaign ----------------------------------------------
+
+
+def _inject_shard_worker(
+        shard: Tuple[str, int, str, Optional[str]]) -> dict:
+    """One (scenario, seed) trial; runs in a pool worker process."""
+    scenario, seed, agreement, telemetry_dir = shard
+    try:
+        telemetry = {}
+
+        def on_boot(system) -> None:
+            from repro.obs import attach_flight_recorder
+            telemetry["recorder"] = attach_flight_recorder(system)
+            telemetry["system"] = system
+
+        runner = FaultExperimentRunner(
+            agreement=agreement,
+            on_boot=on_boot if telemetry_dir else None)
+        trial = runner.run_trial(scenario, seed)
+        out: dict = {"status": "ok", "scenario": scenario, "seed": seed,
+                     "trial": trial.to_dict()}
+        if telemetry_dir and telemetry.get("recorder") is not None:
+            from repro.obs import write_telemetry
+            shard_dir = os.path.join(telemetry_dir, f"{scenario}-{seed}")
+            write_telemetry(shard_dir, telemetry["recorder"],
+                            telemetry["system"])
+            out["telemetry_dir"] = shard_dir
+        return out
+    except Exception:
+        return {"status": "error", "scenario": scenario, "seed": seed,
+                "error": traceback.format_exc()}
+
+
+def merge_inject_shards(shards: Sequence[dict]) -> dict:
+    """Merge trial shards into the ``inject`` scenario report shape."""
+    if not shards:
+        raise CampaignError("no shards to merge (empty campaign)")
+    seen: set = set()
+    summaries: Dict[str, ScenarioSummary] = {}
+    telemetry_dirs: List[str] = []
+    failures: List[dict] = []
+    for shard in shards:
+        key = (shard["scenario"], shard["seed"])
+        if key in seen:
+            raise CampaignError(
+                f"overlapping shards for trial {key!r}: each "
+                f"(scenario, seed) must be produced exactly once")
+        seen.add(key)
+        if shard["status"] != "ok":
+            failures.append({"scenario": shard["scenario"],
+                             "seed": shard["seed"],
+                             "error": shard.get("error", "unknown")})
+            continue
+        summary = summaries.setdefault(
+            shard["scenario"], ScenarioSummary(scenario=shard["scenario"]))
+        summary.trials.append(FaultTrialResult.from_dict(shard["trial"]))
+        if shard.get("telemetry_dir"):
+            telemetry_dirs.append(shard["telemetry_dir"])
+    for summary in summaries.values():
+        summary.trials.sort(key=lambda t: t.seed)
+    scenarios = {}
+    for scenario, summary in summaries.items():
+        workload, _n, avg, mx = PAPER_TABLE_7_4[scenario]
+        have_latencies = bool(summary.latencies_ms)
+        scenarios[scenario] = {
+            "workload": workload,
+            "trials": len(summary.trials),
+            "contained": summary.contained_count,
+            "detection_avg_ms": (summary.avg_latency_ms
+                                 if have_latencies else None),
+            "detection_max_ms": (summary.max_latency_ms
+                                 if have_latencies else None),
+            "paper_avg_ms": avg,
+            "paper_max_ms": mx,
+            "latencies_ms": summary.latencies_ms,
+        }
+    payload: dict = {"scenarios": scenarios, "summaries": summaries}
+    if telemetry_dirs:
+        payload["telemetry_dirs"] = sorted(telemetry_dirs)
+    if failures:
+        payload["failures"] = failures
+    return payload
+
+
+def run_inject_campaign(scenarios: List[str], trials: int,
+                        seed_base: int = 1995, workers: int = 2,
+                        agreement: str = "oracle",
+                        telemetry_dir: Optional[str] = None) -> dict:
+    """Shard Table 7.4 trials across a process pool and merge.
+
+    Each trial is one shard — the slowest scenario (sw_cow_tree) runs
+    minutes-long trials, so trial granularity keeps the pool busy.
+    """
+    shards = [(scenario, seed_base + i, agreement, telemetry_dir)
+              for scenario in scenarios for i in range(trials)]
+    # The historically slowest scenarios first (paper latency order).
+    slow = {s: PAPER_TABLE_7_4[s][2] for s in PAPER_TABLE_7_4}
+    shards.sort(key=lambda s: slow.get(s[0], 0), reverse=True)
+    procs = _effective_workers(workers)
+    wall0 = time.perf_counter()
+    if procs <= 1:
+        raw = [_inject_shard_worker(s) for s in shards]
+    else:
+        with _pool_context().Pool(processes=procs) as pool:
+            raw = pool.map(_inject_shard_worker, shards, chunksize=1)
+    campaign_wall = time.perf_counter() - wall0
+    payload = merge_inject_shards(raw)
+    payload["parallel"] = {
+        "workers": workers,
+        "effective_workers": procs,
+        "shards": len(shards),
+        "campaign_wall_s": round(campaign_wall, 4),
+        "cpu_count": os.cpu_count(),
+    }
+    return payload

@@ -37,17 +37,48 @@ owned and shared lines make ``frames_with_dirty_lines_owned_by_node`` and
 O(every line in the directory).  Entries whose state empties out (no
 owner, no sharers) are pruned so the directory never grows monotonically
 across reintegration rounds.
+
+Batched access path
+-------------------
+:meth:`CoherenceController.access_batch` takes arrays of line indices and
+read/write ops from one CPU and resolves the common case — healthy
+machine, lines already cached with sufficient rights, firewall clear —
+without the per-access Python round trip, falling back to the scalar
+:meth:`read`/:meth:`write` path only for the residual lines.  Three tiers:
+
+* large unique batches classify hits with **vectorized masks** against
+  dense numpy mirrors of the directory's owner/sharer state (built
+  lazily, maintained incrementally at every mutation site);
+* small batches run a sequential loop with the hit checks inlined
+  (byte-identical stats and latencies, just less interpreter overhead);
+* :meth:`prepare_batch` / :meth:`access_prepared` additionally memoize a
+  batch that resolved entirely as cache hits: per-node **mutation
+  generation counters** prove the directory state the batch touched is
+  unchanged, so an unchanged all-hit batch replays as one stats bump.
+
+Every tier charges exactly the latencies the scalar path would, so event
+counts, recovery records, and span exports are byte-identical whichever
+path runs.  ``HIVE_BATCH=0`` in the environment forces the plain scalar
+loop everywhere (the debugging escape hatch).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.hardware.interconnect import Interconnect
 from repro.hardware.memory import PhysicalMemory
 from repro.hardware.params import HardwareParams
 from repro.sim.stats import Histogram
+
+#: batches at least this large use the numpy mask classification; smaller
+#: ones run the inlined sequential loop (numpy call overhead dominates
+#: below a few dozen elements).
+BATCH_VECTOR_MIN = 64
 
 
 class LineState:
@@ -65,6 +96,28 @@ class LineState:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LineState(owner={self.owner}, sharers={self.sharers})"
+
+
+class PreparedBatch:
+    """A validated (lines, ops) access pattern for repeated issue.
+
+    Holds the batch in list form (no per-issue conversion cost) plus the
+    set of home nodes its lines live on, and — when the last issue
+    resolved entirely as cache hits — a memo of that outcome keyed by the
+    home nodes' mutation generations.  The memo is sound because an
+    all-hit batch has no side effects beyond hit counters, and any
+    directory mutation on a home node bumps that node's generation.
+    """
+
+    __slots__ = ("lines", "ops", "home_nodes", "memo")
+
+    def __init__(self, lines: List[int], ops: List[int],
+                 home_nodes: Tuple[int, ...]):
+        self.lines = lines
+        self.ops = ops
+        self.home_nodes = home_nodes
+        #: (cpu, ((node, gen), ...), latency, read_hits, write_hits, n)
+        self.memo: Optional[tuple] = None
 
 
 @dataclass(slots=True)
@@ -99,7 +152,9 @@ class CoherenceController:
         "_bytes_per_node", "_line_size", "_lines_per_page",
         "_pages_per_node", "_cpus_per_node", "_hit_latency",
         "_firewall_check_ns", "_mem_latency_ns", "stats",
-        "remote_write_hist",
+        "remote_write_hist", "batch_enabled", "_node_gen",
+        "_lines_per_node", "_total_lines", "_owner_arr", "_sharer_bits",
+        "last_batch_completed",
     )
 
     def __init__(self, params: HardwareParams, memory: PhysicalMemory,
@@ -131,6 +186,23 @@ class CoherenceController:
         self.remote_write_hist = Histogram(
             "remote_write_miss_ns",
             [200, 500, 700, 1_000, 1_500, 2_000, 5_000, 10_000])
+        #: HIVE_BATCH=0 forces every batch API through the plain scalar
+        #: loop (the debugging escape hatch; also settable per instance).
+        self.batch_enabled = os.environ.get("HIVE_BATCH", "1") != "0"
+        #: per-home-node directory mutation generations; any state change
+        #: to a line homed on a node invalidates prepared-batch memos
+        #: whose lines live there.
+        self._node_gen: List[int] = [0] * params.num_nodes
+        self._lines_per_node = self._bytes_per_node // self._line_size
+        self._total_lines = self._total_bytes // self._line_size
+        # Dense numpy mirrors of directory state for the vectorized
+        # classification; built lazily by enable_batch_index() and then
+        # maintained at every mutation site.  None until first needed.
+        self._owner_arr: Optional[np.ndarray] = None
+        self._sharer_bits: Optional[np.ndarray] = None
+        #: accesses completed by the most recent batch call before it
+        #: returned or raised (drivers use it to account partial batches).
+        self.last_batch_completed = 0
 
     # -- helpers ------------------------------------------------------
 
@@ -188,6 +260,10 @@ class CoherenceController:
             latency = ic.miss_latency_ns(src_node, addr // self._bytes_per_node)
         else:
             latency = self._mem_latency_ns
+        # A miss always mutates the directory entry (the CPU becomes a
+        # sharer), so the home node's batch-memo generation advances.
+        self._node_gen[line // self._lines_per_node] += 1
+        mirror = self._sharer_bits
         owner = st.owner
         if owner is not None and owner != cpu:
             # Dirty remote intervention: owner is downgraded to shared.
@@ -201,8 +277,13 @@ class CoherenceController:
             st.sharers.add(owner)
             self._sharer_lines[owner_node].add(line)
             st.owner = None
+            if mirror is not None:
+                self._owner_arr[line] = -1
+                mirror[line] |= 1 << owner
         st.sharers.add(cpu)
         self._sharer_lines[src_node].add(line)
+        if mirror is not None:
+            mirror[line] |= 1 << cpu
         return latency
 
     def write(self, cpu: int, addr: int) -> int:
@@ -254,6 +335,8 @@ class CoherenceController:
             stats.remote_write_miss_ns_total += latency
             self.remote_write_hist.record(latency)
         cpus_per_node = self._cpus_per_node
+        # Ownership changes hands: advance the home node's generation.
+        self._node_gen[line // self._lines_per_node] += 1
         old_owner = st.owner
         sharers = st.sharers
         invalidated = len(sharers) - (1 if cpu in sharers else 0)
@@ -270,7 +353,292 @@ class CoherenceController:
             self._owner_lines[old_owner // cpus_per_node].discard(line)
         st.owner = cpu
         self._owner_lines[src_node].add(line)
+        if self._sharer_bits is not None:
+            self._sharer_bits[line] = 0
+            self._owner_arr[line] = cpu
         return latency
+
+    # -- the batched access path ---------------------------------------
+
+    def _bump_all_generations(self) -> None:
+        self._node_gen = [g + 1 for g in self._node_gen]
+
+    def enable_batch_index(self) -> bool:
+        """Build the dense owner/sharer mirrors from the sparse directory.
+
+        Returns False (and leaves the mirrors off) on machines wider than
+        64 CPUs, where a uint64 sharer bitmask cannot name every CPU —
+        those fall back to the sequential batch loop.
+        """
+        if self._owner_arr is not None:
+            return True
+        if self.params.total_cpus > 64:
+            return False
+        owner = np.full(self._total_lines, -1, dtype=np.int64)
+        sharer = np.zeros(self._total_lines, dtype=np.uint64)
+        for line, st in self._lines.items():
+            if st.owner is not None:
+                owner[line] = st.owner
+            bits = 0
+            for c in st.sharers:
+                bits |= 1 << c
+            sharer[line] = bits
+        self._owner_arr = owner
+        self._sharer_bits = sharer
+        return True
+
+    def verify_batch_index(self) -> List[str]:
+        """Cross-check the dense mirrors against the sparse directory.
+
+        Returns a list of human-readable mismatches (empty means the
+        incremental maintenance is consistent); used by the golden tests.
+        """
+        if self._owner_arr is None:
+            return []
+        problems: List[str] = []
+        owner = self._owner_arr
+        sharer = self._sharer_bits
+        seen = set()
+        for line, st in self._lines.items():
+            seen.add(line)
+            want_owner = -1 if st.owner is None else st.owner
+            if int(owner[line]) != want_owner:
+                problems.append(
+                    f"line {line}: mirror owner {int(owner[line])} != "
+                    f"directory {want_owner}")
+            bits = 0
+            for c in st.sharers:
+                bits |= 1 << c
+            if int(sharer[line]) != bits:
+                problems.append(
+                    f"line {line}: mirror sharers {int(sharer[line]):#x} "
+                    f"!= directory {bits:#x}")
+        stale_owner = np.nonzero(owner != -1)[0]
+        stale_share = np.nonzero(sharer != 0)[0]
+        for line in set(stale_owner.tolist() + stale_share.tolist()):
+            if line not in seen:
+                problems.append(f"line {line}: mirror entry with no "
+                                f"directory entry")
+        return problems
+
+    def prepare_batch(self, lines: Sequence[int],
+                      ops: Sequence[int]) -> PreparedBatch:
+        """Validate an access pattern once for repeated issue.
+
+        ``lines`` are global cache-line indices (``addr // line_size``)
+        and ``ops`` are 0 for read / nonzero for write, one per line.
+        """
+        line_list = [int(x) for x in lines]
+        op_list = [1 if o else 0 for o in ops]
+        if len(line_list) != len(op_list):
+            raise ValueError("lines and ops must have the same length")
+        total = self._total_lines
+        for line in line_list:
+            if not 0 <= line < total:
+                raise ValueError(f"line {line} out of range")
+        per_node = self._lines_per_node
+        homes = tuple(sorted({line // per_node for line in line_list}))
+        return PreparedBatch(line_list, op_list, homes)
+
+    def access_prepared(self, cpu: int, prepared: PreparedBatch) -> int:
+        """Issue a prepared batch; returns the summed access latency.
+
+        Identical to issuing each access through :meth:`read`/
+        :meth:`write` in order (same stats, same latency, same exception
+        at the same position — ``last_batch_completed`` reports progress
+        when one raises).  When the batch last resolved entirely as
+        cache hits and no directory mutation has touched its home nodes
+        since, the memoized outcome replays in O(1).  The memo is only
+        recorded — and only replays — while every home node the batch
+        touches is in fault state 0, so a node failure or cutoff between
+        issues always forces re-execution.
+        """
+        if not self.batch_enabled:
+            return self._batch_seq(cpu, prepared.lines, prepared.ops)
+        mem = self.memory
+        faulty = mem._any_faults
+        memo = prepared.memo
+        if memo is not None and memo[0] == cpu:
+            gens = self._node_gen
+            state = mem._node_state
+            for node, gen in memo[1]:
+                if gens[node] != gen or (faulty and state[node]):
+                    break
+            else:
+                stats = self.stats
+                stats.read_hits += memo[3]
+                stats.write_hits += memo[4]
+                self.last_batch_completed = memo[5]
+                return memo[2]
+        latency, all_hits, n_rh, n_wh = self._batch_inline(
+            cpu, prepared.lines, prepared.ops)
+        if all_hits and not (faulty and any(
+                mem._node_state[n] for n in prepared.home_nodes)):
+            gens = self._node_gen
+            prepared.memo = (
+                cpu, tuple((n, gens[n]) for n in prepared.home_nodes),
+                latency, n_rh, n_wh, len(prepared.lines))
+        else:
+            prepared.memo = None
+        return latency
+
+    def access_batch(self, cpu: int, lines, ops) -> int:
+        """Batched :meth:`read`/:meth:`write`: arrays in, total ns out.
+
+        Equivalent to the sequential scalar loop — same stats deltas,
+        same summed latency, and (for the sequential/inline tiers) the
+        same exception at the same batch position.  Large batches of
+        distinct lines on a healthy machine classify cache hits with
+        vectorized masks against the dense directory mirrors and take
+        the scalar path only for the residual (miss) lines; a firewall
+        peek first proves no write will be rejected, so a batch that
+        would fault replays sequentially with exact scalar ordering.
+        """
+        arr_lines = np.asarray(lines, dtype=np.int64).ravel()
+        arr_ops = np.asarray(ops, dtype=np.int64).ravel()
+        if arr_lines.size != arr_ops.size:
+            raise ValueError("lines and ops must have the same length")
+        n = int(arr_lines.size)
+        self.last_batch_completed = 0
+        if n == 0:
+            return 0
+        mem = self.memory
+        if not self.batch_enabled:
+            return self._batch_seq(cpu, arr_lines.tolist(),
+                                   arr_ops.tolist())
+        if arr_lines.min() < 0 or arr_lines.max() >= self._total_lines:
+            # Out-of-range lines must raise at the exact batch position
+            # the scalar loop would; only the reference loop guarantees
+            # that without assuming anything about the fault model.
+            return self._batch_seq(cpu, arr_lines.tolist(),
+                                   arr_ops.tolist())
+        if (mem._any_faults or n < BATCH_VECTOR_MIN
+                or self.interconnect.hop_sensitive
+                or self.params.total_cpus > 64
+                or np.unique(arr_lines).size != n):
+            # Fault windows and repeated lines need sequential ordering
+            # (state probes / intra-batch interaction); small batches
+            # aren't worth the numpy round-trip.
+            latency, _all_hits, _rh, _wh = self._batch_inline(
+                cpu, arr_lines.tolist(), arr_ops.tolist())
+            return latency
+        if not self.enable_batch_index():
+            latency, _all_hits, _rh, _wh = self._batch_inline(
+                cpu, arr_lines.tolist(), arr_ops.tolist())
+            return latency
+        owner = self._owner_arr[arr_lines]
+        sharer = self._sharer_bits[arr_lines]
+        is_write = arr_ops != 0
+        owns = owner == cpu
+        cached = owns | (((sharer >> np.uint64(cpu))
+                          & np.uint64(1)).astype(bool))
+        read_hit = ~is_write & cached
+        write_hit = is_write & owns
+        residual = ~(read_hit | write_hit)
+        if mem.firewall_enabled and bool((is_write & residual).any()):
+            # Side-effect-free firewall peek over the write misses: if
+            # any would be rejected, replay the whole batch sequentially
+            # so counters and the raise position match the scalar path
+            # exactly (nothing has been mutated or counted yet).
+            wm_lines = arr_lines[is_write & residual]
+            frames = (wm_lines // self._lines_per_page).tolist()
+            firewalls = mem.firewalls
+            pages_per_node = self._pages_per_node
+            for frame in frames:
+                if not firewalls[frame // pages_per_node].peek_allows(
+                        frame, cpu):
+                    latency, _all_hits, _rh, _wh = self._batch_inline(
+                        cpu, arr_lines.tolist(), arr_ops.tolist())
+                    return latency
+        n_rh = int(read_hit.sum())
+        n_wh = int(write_hit.sum())
+        stats = self.stats
+        stats.read_hits += n_rh
+        stats.write_hits += n_wh
+        latency = (n_rh + n_wh) * self._hit_latency
+        if bool(residual.any()):
+            read_f = self.read
+            write_f = self.write
+            line_size = self._line_size
+            for line, op in zip(arr_lines[residual].tolist(),
+                                arr_ops[residual].tolist()):
+                addr = line * line_size
+                latency += write_f(cpu, addr) if op else read_f(cpu, addr)
+        self.last_batch_completed = n
+        return latency
+
+    def _batch_seq(self, cpu: int, lines: Sequence[int],
+                   ops: Sequence[int]) -> int:
+        """Reference tier: the plain scalar loop (HIVE_BATCH=0 path)."""
+        read_f = self.read
+        write_f = self.write
+        line_size = self._line_size
+        latency = 0
+        done = 0
+        try:
+            for line, op in zip(lines, ops):
+                addr = line * line_size
+                latency += write_f(cpu, addr) if op else read_f(cpu, addr)
+                done += 1
+        finally:
+            self.last_batch_completed = done
+        return latency
+
+    def _batch_inline(self, cpu: int, lines: Sequence[int],
+                      ops: Sequence[int]):
+        """Sequential loop with the scalar hit checks inlined.
+
+        Lines must be in range (callers validate).  A write hit is valid
+        unconditionally (the scalar :meth:`write` checks ownership before
+        the fault model); a read hit is valid whenever the line's home
+        node is in fault state 0 (the scalar :meth:`read` consults the
+        fault model first only for non-zero homes).  Everything else —
+        misses, faulted homes — goes through the scalar methods, so
+        ordering, raise positions, and stats match exactly.
+        Returns ``(latency, all_hits, read_hits, write_hits)``.
+        """
+        directory = self._lines
+        get = directory.get
+        hit_ns = self._hit_latency
+        read_f = self.read
+        write_f = self.write
+        line_size = self._line_size
+        faulty = self.memory._any_faults
+        node_state = self.memory._node_state
+        lines_per_node = self._lines_per_node
+        n_rh = 0
+        n_wh = 0
+        latency = 0
+        all_hits = True
+        done = 0
+        stats = self.stats
+        try:
+            for line, op in zip(lines, ops):
+                st = get(line)
+                if st is not None:
+                    if op:
+                        if st.owner == cpu:
+                            n_wh += 1
+                            latency += hit_ns
+                            done += 1
+                            continue
+                    elif (cpu == st.owner or cpu in st.sharers) and not (
+                            faulty and node_state[line // lines_per_node]):
+                        n_rh += 1
+                        latency += hit_ns
+                        done += 1
+                        continue
+                all_hits = False
+                addr = line * line_size
+                latency += write_f(cpu, addr) if op else read_f(cpu, addr)
+                done += 1
+        finally:
+            # Hits observed before an exception really happened; flush
+            # them so counters match the scalar loop at the raise point.
+            stats.read_hits += n_rh
+            stats.write_hits += n_wh
+            self.last_batch_completed = done
+        return latency, all_hits, n_rh, n_wh
 
     # -- failure interaction -----------------------------------------------
 
@@ -296,6 +664,10 @@ class CoherenceController:
         """
         lo = node * self._cpus_per_node
         hi = lo + self._cpus_per_node
+        # Failure/reintegration touches lines homed anywhere: advance
+        # every node's generation (rare event, coarse bump is fine).
+        self._bump_all_generations()
+        mirror = self._sharer_bits
         lines = self._lines
         owned, self._owner_lines[node] = self._owner_lines[node], set()
         for line in owned:
@@ -303,9 +675,16 @@ class CoherenceController:
             if st is None:
                 continue
             st.owner = None
+            if mirror is not None:
+                self._owner_arr[line] = -1
             if not st.sharers:
                 del lines[line]
         shared, self._sharer_lines[node] = self._sharer_lines[node], set()
+        if mirror is not None and shared:
+            # Clear the failed node's CPUs out of the sharer bitmasks.
+            keep_mask = (2 ** 64 - 1) ^ sum(1 << c for c in range(lo, hi))
+            for line in shared:
+                mirror[line] &= keep_mask
         for line in shared:
             st = lines.get(line)
             if st is None:
@@ -330,6 +709,8 @@ class CoherenceController:
         stats = self.stats
         owner_index = self._owner_lines
         sharer_index = self._sharer_lines
+        mirror = self._sharer_bits
+        self._bump_all_generations()
         for frame in frames:
             first = frame * lines_per_page
             for line in range(first, first + lines_per_page):
@@ -342,6 +723,9 @@ class CoherenceController:
                 for sharer in st.sharers:
                     sharer_index[sharer // cpus_per_node].discard(line)
                 del lines[line]
+                if mirror is not None:
+                    mirror[line] = 0
+                    self._owner_arr[line] = -1
 
     # -- introspection -----------------------------------------------------
 

@@ -210,6 +210,65 @@ class PhysicalMemory:
         self._check_writable(frame, cpu)
         self._pages.pop(frame, None)
 
+    # -- bulk data access --------------------------------------------------
+
+    def read_pages(self, frames, cpu: Optional[int] = None) -> List[bytes]:
+        """Read a batch of pages; equivalent to ``read_page`` per frame.
+
+        On a healthy machine the per-frame fault checks collapse to one
+        vectorized range check; under faults the scalar loop preserves
+        the raise position of the sequential form.
+        """
+        frame_list = [int(f) for f in frames]
+        if not frame_list:
+            return []
+        if self._any_faults:
+            return [self.read_page(f, cpu) for f in frame_list]
+        arr = np.asarray(frame_list, dtype=np.int64)
+        if bool((arr < 0).any()) or bool((arr >= self._total_pages).any()):
+            # Raise from the first offending frame, like the scalar loop.
+            return [self.read_page(f, cpu) for f in frame_list]
+        pages = self._pages
+        zero = self._zero
+        return [pages.get(f, zero) for f in frame_list]
+
+    def write_pages(self, frames, datas, cpu: Optional[int] = None) -> None:
+        """Write a batch of pages; equivalent to ``write_page`` per frame.
+
+        The scalar loop's partial-completion semantics are preserved: a
+        failing frame leaves every earlier write applied and raises at
+        the same position.
+        """
+        frame_list = [int(f) for f in frames]
+        if len(frame_list) != len(datas):
+            raise ValueError("frames and datas must have the same length")
+        page_size = self.params.page_size
+        healthy = not self._any_faults
+        if healthy and frame_list:
+            arr = np.asarray(frame_list, dtype=np.int64)
+            if bool((arr < 0).any()) or bool((arr >= self._total_pages).any()):
+                healthy = False  # scalar path raises at the right index
+        if not healthy:
+            for frame, data in zip(frame_list, datas):
+                self.write_page(frame, data, cpu)
+            return
+        pages = self._pages
+        zero = self._zero
+        firewall_checked = self.firewall_enabled and cpu is not None
+        pages_per_node = self._pages_per_node
+        firewalls = self.firewalls
+        for frame, data in zip(frame_list, datas):
+            if len(data) != page_size:
+                raise ValueError(
+                    f"page write must be exactly {page_size} bytes"
+                )
+            if firewall_checked:
+                firewalls[frame // pages_per_node].check_write(frame, cpu)
+            if data == zero:
+                pages.pop(frame, None)
+            else:
+                pages[frame] = bytes(data)
+
     # -- firewall convenience ----------------------------------------------
 
     def firewall_for_frame(self, frame: int) -> NodeFirewall:

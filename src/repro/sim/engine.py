@@ -143,7 +143,8 @@ class Timeout(Event):
         """Reset a pooled timeout for reuse (mirrors ``__init__``)."""
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        if self.sim.trace_names:
+        sim = self.sim
+        if sim.trace_names:
             self.name = f"timeout({delay})"
         self.delay = delay
         self._callbacks = []
@@ -151,16 +152,43 @@ class Timeout(Event):
         self._ok = True
         self._value = None
         self._cb_seen = 0
-        self.sim.schedule(delay, self._expire, value)
+        # Inlined sim.schedule(delay, self._expire, value): one pooled
+        # timeout is scheduled per process wakeup.
+        sim._seq += 1
+        heapq.heappush(sim._queue,
+                       (sim.now + int(delay), sim._seq, self._expire,
+                        (value,)))
         return self
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         self._cb_seen += 1
-        Event.add_callback(self, cb)
+        # Inlined Event.add_callback: every process wait on a timeout
+        # lands here.
+        callbacks = self._callbacks
+        if callbacks is None:
+            self.sim.schedule(0, cb, self)
+        else:
+            callbacks.append(cb)
 
     def _expire(self, value: Any) -> None:
-        if not self._triggered:
-            self.succeed(value)
+        # Inlined self.succeed(value)/_trigger: expiry is the hottest
+        # trigger site and the double-trigger guard reduces to the
+        # ``_triggered`` test.
+        if self._triggered:
+            return
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        sim = self.sim
+        now = sim.now
+        queue = sim._queue
+        seq = sim._seq
+        args = (self,)
+        for cb in callbacks:
+            seq += 1
+            heapq.heappush(queue, (now, seq, cb, args))
+        sim._seq = seq
 
 
 class AnyOf(Event):
@@ -325,6 +353,10 @@ class Process(Event):
 class Simulator:
     """The event loop.  ``now`` is the current time in nanoseconds."""
 
+    __slots__ = ("now", "_queue", "_seq", "_active_process",
+                 "crash_on_process_error", "events_processed",
+                 "trace_names", "_timeout_pool")
+
     def __init__(self, crash_on_process_error: bool = True):
         self.now: int = 0
         self._queue: list = []
@@ -357,14 +389,29 @@ class Simulator:
         processed = 0
         queue = self._queue
         heappop = heapq.heappop
+        if until is None:
+            while queue:
+                entry = heappop(queue)
+                self.now = entry[0]
+                entry[2](*entry[3])
+                processed += 1
+                if processed > max_events:
+                    self.events_processed += processed
+                    raise SimulationError(
+                        "event budget exhausted; likely livelock")
+            self.events_processed += processed
+            return
         while queue:
-            entry = queue[0]
+            # Pop first, push back on overshoot: the push-back happens at
+            # most once per run() call, while the peek-then-pop form paid
+            # an extra queue[0] index on every event.
+            entry = heappop(queue)
             t = entry[0]
-            if until is not None and t > until:
+            if t > until:
+                heapq.heappush(queue, entry)
                 self.now = until
                 self.events_processed += processed
                 return
-            heappop(queue)
             self.now = t
             entry[2](*entry[3])
             processed += 1
@@ -372,8 +419,7 @@ class Simulator:
                 self.events_processed += processed
                 raise SimulationError("event budget exhausted; likely livelock")
         self.events_processed += processed
-        if until is not None:
-            self.now = until
+        self.now = until
 
     def run_until_event(self, event: "Event",
                         deadline: Optional[int] = None,

@@ -150,7 +150,6 @@ class PfdatTable:
         self._hash: Dict[LogicalId, Pfdat] = {}
         self._free: Deque[int] = deque()
         self.owned_frames: Set[int] = set()
-        self._seq = 0
         # Writable-by-cell index over the *regular* (non-extended)
         # pfdats: grantee cell -> {frame: pfdat}.  Maintained by
         # ``_ExportSet`` so preemptive discard's working-set query is
@@ -159,12 +158,18 @@ class PfdatTable:
         #: regular pfdats with any grantee at all (the Section 4.2
         #: remotely-writable sample), frame -> pfdat.
         self._exported: Dict[int, Pfdat] = {}
+        # Owned pfdats are materialized on first touch, not at boot: a
+        # large machine has ~100k frames per kernel and most are never
+        # referenced in a run.  ``_rank`` records each frame's position
+        # in the boot order, which becomes the pfdat's ``seq`` when it
+        # is created — identical to the eager table's numbering, so all
+        # seq-sorted index queries are byte-for-byte unchanged.
+        self._rank: Dict[int, int] = {}
         for frame in owned_frames:
-            pf = Pfdat(frame)
-            pf.on_free_list = True
-            self._adopt(pf)
+            self._rank[frame] = len(self._rank)
             self._free.append(frame)
             self.owned_frames.add(frame)
+        self._seq = len(self._rank)
         #: frames this kernel has loaned out: parked on a reserved list,
         #: "the memory home moves the page frame to a reserved list and
         #: ignores it until the data home frees it or fails" (Section 5.4).
@@ -180,6 +185,15 @@ class PfdatTable:
         pf.seq = self._seq
         self._seq += 1
         self._by_frame[pf.frame] = pf
+
+    def _materialize(self, frame: int) -> Pfdat:
+        """Create the regular pfdat for an owned frame on first touch."""
+        pf = Pfdat(frame)
+        pf.on_free_list = True
+        pf.table = self
+        pf.seq = self._rank[frame]
+        self._by_frame[frame] = pf
+        return pf
 
     def _export_added(self, pf: Pfdat, cell_id: int) -> None:
         if pf.extended:
@@ -238,7 +252,10 @@ class PfdatTable:
         pf.valid = False
 
     def by_frame(self, frame: int) -> Optional[Pfdat]:
-        return self._by_frame.get(frame)
+        pf = self._by_frame.get(frame)
+        if pf is None and frame in self.owned_frames:
+            pf = self._materialize(frame)
+        return pf
 
     def all_pfdats(self) -> List[Pfdat]:
         return list(self._by_frame.values())
@@ -256,7 +273,9 @@ class PfdatTable:
         """Take a frame off the local free list."""
         while self._free:
             frame = self._free.popleft()
-            pf = self._by_frame[frame]
+            pf = self._by_frame.get(frame)
+            if pf is None:
+                pf = self._materialize(frame)
             if not pf.on_free_list:
                 continue  # stale entry (frame was reserved/loaned meanwhile)
             pf.on_free_list = False
@@ -284,7 +303,7 @@ class PfdatTable:
 
     def alloc_extended(self, frame: int) -> Pfdat:
         """Allocate an extended pfdat bound to a (remote) frame."""
-        if frame in self._by_frame and frame in self.owned_frames:
+        if frame in self.owned_frames:
             raise ValueError(
                 f"frame {frame} is local; reuse its regular pfdat "
                 "(Section 5.5 reimport path)"

@@ -105,10 +105,14 @@ class SyntheticWorkload:
                         yield from ctx.read(fd, cfg.file_pages * PAGE)
                         yield from ctx.close(fd)
                     elif op == "anon_touch":
-                        for _ in range(cfg.anon_pages_per_touch):
-                            yield from ctx.touch(anon, anon_next,
-                                                 write=True)
-                            anon_next += 1
+                        # One batched reference for the whole run of
+                        # pages; already-mapped pages resolve as a
+                        # single coherence batch, first touches fall
+                        # back to the per-page fault path.
+                        yield from ctx.touch_many(
+                            anon, anon_next, cfg.anon_pages_per_touch,
+                            write=True)
+                        anon_next += cfg.anon_pages_per_touch
                     elif op == "fork_child":
                         pid = yield from ctx.spawn(child,
                                                    f"synth{job}.c{round_}")

@@ -156,3 +156,165 @@ class TestFailureInteraction:
         coh.read(0, 0x100)
         coh.invalidate_frame(0)
         assert coh.read(0, 0x100) == params.mem_latency_ns
+
+
+def _lines_per_node(params):
+    return params.memory_per_node // params.cache_line_size
+
+
+def _stats_key(coh):
+    s = coh.stats
+    return (s.read_hits, s.read_misses, s.write_hits, s.write_misses,
+            s.remote_write_misses, s.invalidations, s.firewall_checks)
+
+
+def _scalar_replay(coh, params, cpu, lines, ops):
+    """Reference semantics: the plain per-line scalar loop."""
+    total = 0
+    for line, op in zip(lines, ops):
+        addr = line * params.cache_line_size
+        total += coh.write(cpu, addr) if op else coh.read(cpu, addr)
+    return total
+
+
+class TestBatchedAccess:
+    """access_batch/access_prepared must be bit-equivalent to the
+    scalar loop in latency, stats, and directory state."""
+
+    def _mixed_case(self, n=96):
+        """Unique local lines, warmed so the batch mixes hits/misses."""
+        params, mem, coh = make_coherence()
+        lines = list(range(0, 2 * n, 2))[:n]
+        ops = [(i % 3 == 0) for i in range(n)]  # every third a write
+        # Warm half the lines so the batch mixes hits and misses.
+        for line in lines[::2]:
+            coh.read(0, line * params.cache_line_size)
+        return params, mem, coh, lines, ops
+
+    def _compare(self, make_case, vector_min_hit=False):
+        params, _m, coh_a, lines, ops = make_case()
+        _p, _m2, coh_b, _l, _o = make_case()
+        lat_batch = coh_a.access_batch(0, lines, ops)
+        lat_scalar = _scalar_replay(coh_b, params, 0, lines, ops)
+        assert lat_batch == lat_scalar
+        assert _stats_key(coh_a) == _stats_key(coh_b)
+        assert coh_a.last_batch_completed == len(lines)
+        for line in lines:
+            a, b = coh_a._lines.get(line), coh_b._lines.get(line)
+            assert (a.owner, a.sharers) == (b.owner, b.sharers)
+        return coh_a
+
+    def test_vectorized_tier_matches_scalar(self):
+        coh = self._compare(self._mixed_case)
+        # n >= BATCH_VECTOR_MIN and unique lines: the dense mirrors were
+        # built, and they must agree with the sparse directory.
+        assert coh._owner_arr is not None
+        assert coh.verify_batch_index() == []
+
+    def test_inline_tier_matches_scalar(self):
+        def small_case():
+            params, mem, coh, lines, ops = self._mixed_case(n=12)
+            return params, mem, coh, lines, ops
+        coh = self._compare(small_case)
+        assert coh._owner_arr is None  # below BATCH_VECTOR_MIN
+
+    def test_duplicate_lines_match_scalar(self):
+        def dup_case():
+            params, mem, coh, lines, ops = self._mixed_case()
+            lines[1] = lines[0]  # duplicates force the inline tier
+            return params, mem, coh, lines, ops
+        self._compare(dup_case)
+
+    def test_scalar_fallback_when_disabled(self):
+        def disabled_case():
+            params, mem, coh, lines, ops = self._mixed_case()
+            coh.batch_enabled = False  # the HIVE_BATCH=0 escape hatch
+            return params, mem, coh, lines, ops
+        self._compare(disabled_case)
+
+    def test_mirror_stays_consistent_after_scalar_traffic(self):
+        params, _m, coh, lines, ops = self._mixed_case()
+        coh.access_batch(0, lines, ops)
+        # Scalar reads/writes from other CPUs mutate the directory; the
+        # mirrors must track every mutation site.
+        coh.read(1, lines[0] * params.cache_line_size)
+        coh.write(0, lines[1] * params.cache_line_size)
+        coh.write(1, (lines[2] + _lines_per_node(params))
+                  * params.cache_line_size)  # another node entirely
+        coh.drop_node_cache_state(2)
+        assert coh.verify_batch_index() == []
+
+    def test_firewall_violation_at_exact_position(self):
+        params, mem, coh = make_coherence()
+        remote = _lines_per_node(params)  # node 1's first line
+        lines = list(range(70)) + [remote] + list(range(70, 80))
+        ops = [0] * 70 + [1] + [0] * 10
+        _p2, _m2, coh_b = make_coherence()
+        with pytest.raises(FirewallViolation):
+            coh.access_batch(0, lines, ops)
+        with pytest.raises(FirewallViolation):
+            _scalar_replay(coh_b, params, 0, lines, ops)
+        assert coh.last_batch_completed == 70
+        assert _stats_key(coh) == _stats_key(coh_b)
+
+    def test_bus_error_under_faults_at_exact_position(self):
+        params, mem, coh = make_coherence()
+        _p2, mem_b, coh_b = make_coherence()
+        for m in (mem, mem_b):
+            m.fail_node(1)
+        lines = list(range(10)) + [_lines_per_node(params)] + list(range(10, 20))
+        ops = [0] * len(lines)
+        with pytest.raises(BusError):
+            coh.access_batch(0, lines, ops)
+        with pytest.raises(BusError):
+            _scalar_replay(coh_b, params, 0, lines, ops)
+        assert coh.last_batch_completed == 10
+        assert _stats_key(coh) == _stats_key(coh_b)
+
+    def test_out_of_range_line_raises_like_scalar(self):
+        from repro.hardware.errors import InvalidPhysicalAddress
+        params, _m, coh = make_coherence()
+        total_lines = params.num_nodes * _lines_per_node(params)
+        lines = [0, 1, total_lines + 5, 2]
+        with pytest.raises(InvalidPhysicalAddress):
+            coh.access_batch(0, lines, [0, 0, 0, 0])
+        assert coh.last_batch_completed == 2
+
+
+class TestPreparedBatch:
+    def test_memo_replay_matches_fresh_run(self):
+        params, _m, coh = make_coherence()
+        _p2, _m2, coh_b = make_coherence()
+        lines = list(range(32))
+        ops = [i % 2 for i in range(32)]
+        prep = coh.prepare_batch(lines, ops)
+        first = coh.access_prepared(0, prep)
+        replay = coh.access_prepared(0, prep)  # all-hit: memoized
+        assert prep.memo is not None
+        scalar_first = _scalar_replay(coh_b, params, 0, lines, ops)
+        scalar_replay = _scalar_replay(coh_b, params, 0, lines, ops)
+        assert (first, replay) == (scalar_first, scalar_replay)
+        assert _stats_key(coh) == _stats_key(coh_b)
+
+    def test_memo_invalidated_by_foreign_write(self):
+        params, mem, coh = make_coherence()
+        mem.firewalls[0].grant_node(0, 0, 1)  # let node 1 write frame 0
+        lines = list(range(8))
+        prep = coh.prepare_batch(lines, [0] * 8)
+        coh.access_prepared(0, prep)
+        coh.access_prepared(0, prep)
+        assert prep.memo is not None
+        # CPU 1 steals line 0: the home node's generation advances and
+        # the memo must not replay stale hit counts.
+        coh.write(1, 0)
+        hits_before = coh.stats.read_hits
+        misses_before = coh.stats.read_misses
+        coh.access_prepared(0, prep)
+        assert coh.stats.read_misses == misses_before + 1  # re-fetched
+        assert coh.stats.read_hits == hits_before + 7
+
+    def test_prepare_rejects_out_of_range(self):
+        params, _m, coh = make_coherence()
+        total_lines = params.num_nodes * _lines_per_node(params)
+        with pytest.raises(ValueError):
+            coh.prepare_batch([total_lines], [0])

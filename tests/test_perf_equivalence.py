@@ -31,12 +31,14 @@ def _record_key(rec):
     )
 
 
-def _run_once():
+def _run_once(batch=None):
     captured = {}
 
     def on_boot(system):
         captured["recorder"] = attach_flight_recorder(system)
         captured["system"] = system
+        if batch is not None:
+            system.machine.coherence.batch_enabled = batch
 
     runner = FaultExperimentRunner(on_boot=on_boot)
     trial = runner.run_trial(SW_COW_TREE, seed=SEED)
@@ -69,3 +71,39 @@ class TestSwCowTreeGolden:
         assert discarded == second[2]
         # Byte-identical JSONL span export (modulo nothing).
         assert spans == second[3]
+
+
+#: run_throughput keys that are simulated (seed-deterministic) rather
+#: than wall-clock measurements.
+DETERMINISTIC_ROW_KEYS = (
+    "config", "nodes", "cells", "cpus_per_node", "seed", "sim_ms",
+    "events", "accesses", "driver_accesses", "writable_page_samples",
+    "samples", "recovery_detected", "discarded_pages",
+)
+
+
+class TestBatchVsScalarGolden:
+    """The batched access path must be invisible to the simulation.
+
+    Runs the recovery-heaviest Table 7.4 scenario and the throughput
+    scenario with batching forced on and off, and diffs event counts,
+    recovery records, discard counts, and span exports byte-for-byte.
+    """
+
+    def test_sw_cow_tree_batch_toggle(self):
+        batched = _run_once(batch=True)
+        scalar = _run_once(batch=False)
+        assert batched[0][3], "fault was never detected"
+        assert batched[0] == scalar[0]  # trial result fields
+        assert batched[1] == scalar[1]  # recovery records
+        assert batched[2] == scalar[2]  # discarded pages
+        assert batched[3] == scalar[3]  # span export, byte-for-byte
+
+    def test_throughput_small_batch_toggle(self):
+        from repro.bench.throughput import run_throughput
+
+        batched = run_throughput("small", seed=11, batch=True)
+        scalar = run_throughput("small", seed=11, batch=False)
+        assert batched["recovery_detected"]
+        for key in DETERMINISTIC_ROW_KEYS:
+            assert batched[key] == scalar[key], key
