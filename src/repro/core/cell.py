@@ -47,6 +47,7 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
         from repro.core.usermsg import UserMsgService
 
         self.usermsg = UserMsgService(self)
+        self.rpc.usermsg = self.usermsg
         self.careful = CarefulReader(self)
         self.detector = FailureDetector(self)
         self.firewall_mgr = FirewallManager(self)

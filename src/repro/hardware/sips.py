@@ -38,9 +38,13 @@ REQUEST = "request"
 REPLY = "reply"
 
 
-@dataclass
+@dataclass(slots=True)
 class SipsMessage:
-    """One hardware message: a cache line of payload plus routing info."""
+    """One hardware message: a cache line of payload plus routing info.
+
+    Slotted: the fabric creates one per send on the RPC hot path, and a
+    per-message ``__dict__`` costs more than the message itself.
+    """
 
     src_cpu: int
     dst_node: int
@@ -152,7 +156,12 @@ class SipsFabric:
             return
         handler = self._handlers.get(msg.dst_node)
         queue = self._queues[(msg.dst_node, msg.kind)]
-        if msg in queue:
+        # Deliveries complete in send order per (node, kind) queue, so
+        # the message is almost always at the head; fall back to the
+        # O(n) scan only for queues perturbed by a node failure/revival.
+        if queue and queue[0] is msg:
+            queue.popleft()
+        elif msg in queue:
             queue.remove(msg)
         if handler is not None:
             handler(msg)

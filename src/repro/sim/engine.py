@@ -1,21 +1,65 @@
 """Core discrete-event engine: simulator clock, events, and processes.
 
 Time is an integer number of nanoseconds.  The engine is a classic
-event-queue design: a binary heap of ``(time, sequence, callback)`` entries.
-Coroutine processes are Python generators that yield :class:`Event` objects
-and are resumed when those events trigger.
+event-queue design; coroutine processes are Python generators that yield
+:class:`Event` objects and are resumed when those events trigger.
+
+The queue is a three-tier structure (the PR5 timer wheel):
+
+* a **same-instant batch** (``_nowq``): zero-delay entries — mostly
+  event-trigger callback dispatches — go to a FIFO deque instead of the
+  heap, since they fire at the current instant anyway;
+* a **bucketed timer wheel** for near-future entries (within
+  ``_WHEEL_SLOTS`` slots of ``2**_WHEEL_SHIFT`` ns): an O(1) append at
+  schedule time; a slot is dumped into the binary heap when the clock
+  reaches it, so the heap stays small;
+* the **binary heap** for far-future entries and the current slot.
+
+``HIVE_WHEEL=0`` in the environment (or ``Simulator(wheel=False)``)
+disables the wheel and the now-queue, restoring the classic single-heap
+dispatch loop.  Both modes dispatch in exactly the same order.
+
+Entries are mutable ``[time, seq, fn, args]`` lists so they can be
+*cancelled* in place (:meth:`Simulator.cancel`, :meth:`Timeout.cancel`):
+a cancelled entry has its callback slot cleared and is skipped — without
+counting as a processed event — when it surfaces.  When many cancelled
+entries accumulate in the heap it is compacted in place.
 
 Determinism guarantees
 ----------------------
 * Events scheduled for the same instant fire in the order they were
-  scheduled (the heap is keyed by ``(time, seq)``).
+  scheduled (dispatch is keyed by ``(time, seq)`` across all tiers).
+* Wheel-on and wheel-off runs dispatch the same events in the same
+  order; ``events_processed`` and every simulated counter agree.
 * Nothing in the engine consults wall-clock time or global randomness.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+#: timer-wheel geometry: slots are ``2**_WHEEL_SHIFT`` ns wide and the
+#: wheel covers ``_WHEEL_SLOTS`` slots (~4.2 ms of near future with the
+#: defaults); farther entries fall back to the heap.
+_WHEEL_SHIFT = 16
+_WHEEL_SLOTS = 4096
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+# Entries landing within this many slots of the cursor skip the wheel
+# and go straight to the heap: a near-future timer would be dumped back
+# into the heap by the very next _advance_wheel anyway, so parking it
+# costs a slot append *plus* the heappush.  The wheel earns its keep on
+# timers that sleep long enough to be cancelled or compacted in place.
+_WHEEL_NEAR = 2
+
+#: compact the heap when more than this many cancelled entries exist and
+#: they outnumber the live ones.
+_COMPACT_MIN_DEAD = 256
+
+#: shared args tuple for value-less timeout expiries (the common case)
+_NONE_ARGS = (None,)
 
 
 class SimulationError(Exception):
@@ -90,12 +134,18 @@ class Event:
         # scheduling site and the delay is a constant zero.
         sim = self.sim
         now = sim.now
-        queue = sim._queue
         seq = sim._seq
         args = (self,)
-        for cb in callbacks:
-            seq += 1
-            heapq.heappush(queue, (now, seq, cb, args))
+        if sim._wheel_on:
+            nowq = sim._nowq
+            for cb in callbacks:
+                seq += 1
+                nowq.append([now, seq, cb, args])
+        else:
+            queue = sim._queue
+            for cb in callbacks:
+                seq += 1
+                heapq.heappush(queue, [now, seq, cb, args])
         sim._seq = seq
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
@@ -126,9 +176,15 @@ class Timeout(Event):
     is only recycled when exactly one waiter (the resuming process) ever
     saw it, so shared timeouts (``any_of``/``all_of`` children, stored
     references that gain late callbacks) are never reused.
+
+    A pending timeout with no remaining waiters can be :meth:`cancel`\\ ed
+    — its queue entry is cleared in place and never fires.  ``AnyOf``
+    cancels losing timeout children automatically so an RPC reply that
+    wins the race against its deadline no longer leaves a dead entry
+    churning the heap for the rest of the deadline window.
     """
 
-    __slots__ = ("delay", "_cb_seen")
+    __slots__ = ("delay", "_cb_seen", "_entry", "_expire_cb", "_self_args")
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
@@ -137,28 +193,11 @@ class Timeout(Event):
             sim, name=f"timeout({delay})" if sim.trace_names else "timeout")
         self.delay = delay
         self._cb_seen = 0
-        sim.schedule(delay, self._expire, value)
-
-    def _reinit(self, delay: int, value: Any) -> "Timeout":
-        """Reset a pooled timeout for reuse (mirrors ``__init__``)."""
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
-        sim = self.sim
-        if sim.trace_names:
-            self.name = f"timeout({delay})"
-        self.delay = delay
-        self._callbacks = []
-        self._triggered = False
-        self._ok = True
-        self._value = None
-        self._cb_seen = 0
-        # Inlined sim.schedule(delay, self._expire, value): one pooled
-        # timeout is scheduled per process wakeup.
-        sim._seq += 1
-        heapq.heappush(sim._queue,
-                       (sim.now + int(delay), sim._seq, self._expire,
-                        (value,)))
-        return self
+        # Cached bound method and callback-args tuple: building these
+        # fresh for every (pooled, reused) timeout showed up in profiles.
+        self._expire_cb = self._expire
+        self._self_args = (self,)
+        self._entry = sim.schedule(delay, self._expire_cb, value)
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         self._cb_seen += 1
@@ -169,6 +208,21 @@ class Timeout(Event):
             self.sim.schedule(0, cb, self)
         else:
             callbacks.append(cb)
+
+    def cancel(self) -> bool:
+        """Cancel a pending timeout nobody waits on.
+
+        Returns True if the scheduled expiry was revoked.  A timeout that
+        already triggered, or that still has registered callbacks, is
+        left alone (someone is waiting on it).
+        """
+        if self._triggered or self._callbacks:
+            return False
+        entry = self._entry
+        if entry is None or entry[2] is None:
+            return False
+        self._entry = None
+        return self.sim.cancel(entry)
 
     def _expire(self, value: Any) -> None:
         # Inlined self.succeed(value)/_trigger: expiry is the hottest
@@ -182,12 +236,31 @@ class Timeout(Event):
         callbacks, self._callbacks = self._callbacks, None
         sim = self.sim
         now = sim.now
-        queue = sim._queue
+        if len(callbacks) == 1:
+            queue = sim._queue
+            if not sim._nowq and not (queue and queue[0][0] == now):
+                # Same-instant batch dispatch: with no other entry
+                # pending at this instant, the sole callback is exactly
+                # what the dispatch loop would pop next (anything
+                # already queued for this time carries a lower seq, and
+                # there is nothing).  Calling it here skips the entry
+                # allocation and one loop round trip; the dispatch is
+                # still counted, so `events_processed` is unchanged.
+                sim.events_processed += 1
+                callbacks[0](self)
+                return
         seq = sim._seq
-        args = (self,)
-        for cb in callbacks:
-            seq += 1
-            heapq.heappush(queue, (now, seq, cb, args))
+        args = self._self_args
+        if sim._wheel_on:
+            nowq = sim._nowq
+            for cb in callbacks:
+                seq += 1
+                nowq.append([now, seq, cb, args])
+        else:
+            queue = sim._queue
+            for cb in callbacks:
+                seq += 1
+                heapq.heappush(queue, [now, seq, cb, args])
         sim._seq = seq
 
 
@@ -195,6 +268,9 @@ class AnyOf(Event):
     """Triggers when the first of several events triggers.
 
     The value is the event that won.  A failing child fails the AnyOf.
+    On trigger, the AnyOf detaches from the losing children and cancels
+    loser timeouts outright — a pattern like ``any_of([reply, deadline])``
+    no longer leaves the deadline's entry dead in the queue.
     """
 
     __slots__ = ("_children",)
@@ -214,6 +290,11 @@ class AnyOf(Event):
             self.succeed(ev)
         else:
             self.fail(ev._value)
+        for child in self._children:
+            if child is not ev and not child._triggered:
+                child.remove_callback(self._child_done)
+                if type(child) is Timeout and not child._callbacks:
+                    child.cancel()
 
 
 class AllOf(Event):
@@ -254,14 +335,20 @@ class Process(Event):
     processes can wait on each other (*join*).
     """
 
-    __slots__ = ("gen", "_waiting_on", "_interrupts")
+    __slots__ = ("gen", "_waiting_on", "_interrupts", "_resume_cb",
+                 "_resume_t_cb")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self._waiting_on: Optional[Event] = None
         self._interrupts: list = []
-        sim.schedule(0, self._resume, None)
+        # Cached bound methods: _step registers one of these on every
+        # yield, and building the bound method fresh each time was a
+        # measurable allocation.
+        self._resume_cb = self._resume
+        self._resume_t_cb = self._resume_t
+        sim.schedule(0, self._resume_cb, None)
 
     @property
     def is_alive(self) -> bool:
@@ -279,7 +366,13 @@ class Process(Event):
         self._interrupts.append(Interrupted(cause))
         waiting = self._waiting_on
         if waiting is not None:
-            waiting.remove_callback(self._resume)
+            waiting.remove_callback(
+                self._resume_t_cb if type(waiting) is Timeout
+                else self._resume_cb)
+            if type(waiting) is Timeout and not waiting._callbacks:
+                # The abandoned wait target would otherwise fire into the
+                # void much later; drop its queue entry now.
+                waiting.cancel()
             self._waiting_on = None
             self.sim.schedule(0, self._deliver_interrupt)
 
@@ -302,7 +395,7 @@ class Process(Event):
             return
         if ev is None:
             self._step(Process._OP_NEXT, None)
-        elif ev.ok:
+        elif ev._ok:
             if type(ev) is Timeout and ev._cb_seen == 1:
                 # This process was the timeout's only waiter ever; the
                 # engine holds no further references, so recycle it.
@@ -310,9 +403,24 @@ class Process(Event):
                 self.sim._timeout_pool.append(ev)
                 self._step(Process._OP_SEND, value)
             else:
-                self._step(Process._OP_SEND, ev.value)
+                self._step(Process._OP_SEND, ev._value)
         else:
             self._step(Process._OP_THROW, ev._value)
+
+    def _resume_t(self, ev: "Timeout") -> None:
+        # Timeout-wait specialization of _resume, registered by _step
+        # for plain timeout yields — the hottest wait in the simulation.
+        # Timeouts never fail and never arrive as None, so the ok/type
+        # dispatch reduces to the pool-eligibility test.
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if self._interrupts:
+            self.sim.schedule(0, self._deliver_interrupt)
+            return
+        if ev._cb_seen == 1:
+            self.sim._timeout_pool.append(ev)
+        self._step(Process._OP_SEND, ev._value)
 
     def _step(self, op: int, arg: Any) -> None:
         self.sim._active_process, previous = self, self.sim._active_process
@@ -347,7 +455,25 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined target.add_callback(self._resume): every yield lands
+        # here and no Event subclass customizes callback registration
+        # beyond Timeout's _cb_seen bookkeeping.  Pending timeout waits
+        # register the specialized _resume_t; everything else (and the
+        # already-triggered deferred-delivery case) keeps the generic
+        # _resume.
+        if type(target) is Timeout:
+            target._cb_seen += 1
+            callbacks = target._callbacks
+            if callbacks is None:
+                self.sim.schedule(0, self._resume_cb, target)
+            else:
+                callbacks.append(self._resume_t_cb)
+        else:
+            callbacks = target._callbacks
+            if callbacks is None:
+                self.sim.schedule(0, self._resume_cb, target)
+            else:
+                callbacks.append(self._resume_cb)
 
 
 class Simulator:
@@ -355,9 +481,11 @@ class Simulator:
 
     __slots__ = ("now", "_queue", "_seq", "_active_process",
                  "crash_on_process_error", "events_processed",
-                 "trace_names", "_timeout_pool")
+                 "trace_names", "_timeout_pool", "_wheel_on", "_nowq",
+                 "_wheel", "_wheel_count", "_wslot", "_wslots", "_dead")
 
-    def __init__(self, crash_on_process_error: bool = True):
+    def __init__(self, crash_on_process_error: bool = True,
+                 wheel: Optional[bool] = None):
         self.now: int = 0
         self._queue: list = []
         self._seq = 0
@@ -368,30 +496,208 @@ class Simulator:
         self.crash_on_process_error = crash_on_process_error
         #: total events dispatched over the simulator's lifetime, across
         #: all run calls (the throughput benchmark's events/sec numerator).
+        #: Cancelled entries never count.
         self.events_processed: int = 0
         #: when True, events get descriptive formatted names (debugging);
         #: off by default so hot paths skip the f-string formatting.
         self.trace_names: bool = False
         # Recycled Timeout objects (see Timeout's docstring).
         self._timeout_pool: list = []
+        if wheel is None:
+            wheel = os.environ.get("HIVE_WHEEL", "1") != "0"
+        #: timer wheel + same-instant batching enabled (HIVE_WHEEL escape)
+        self._wheel_on = bool(wheel)
+        # Same-instant FIFO of [time, seq, fn, args] entries for `now`.
+        self._nowq: deque = deque()
+        # Near-future slots; only allocated when the wheel is on.
+        self._wheel: list = ([[] for _ in range(_WHEEL_SLOTS)]
+                             if self._wheel_on else [])
+        self._wheel_count = 0
+        # Absolute slot index up to which the wheel has been drained.
+        self._wslot = 0
+        # Min-heap of occupied *absolute* slot indices (pushed on a
+        # slot's empty->nonempty transition), so the advance cursor
+        # jumps straight to the next occupied slot.
+        self._wslots: list = []
+        # Cancelled entries still sitting in the queue tiers.
+        self._dead = 0
 
     # -- scheduling ---------------------------------------------------
 
-    def schedule(self, delay: int, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` nanoseconds."""
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> list:
+        """Run ``fn(*args)`` after ``delay`` nanoseconds.
+
+        Returns the queue entry, which can be revoked with
+        :meth:`cancel` as long as it has not fired.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + int(delay), self._seq, fn, args))
+        self._seq = seq = self._seq + 1
+        t = self.now + int(delay)
+        entry = [t, seq, fn, args]
+        if self._wheel_on:
+            if delay == 0:
+                self._nowq.append(entry)
+            else:
+                slot = t >> _WHEEL_SHIFT
+                off = slot - self._wslot
+                if _WHEEL_NEAR < off < _WHEEL_SLOTS:
+                    lst = self._wheel[slot & _WHEEL_MASK]
+                    if not lst:
+                        heapq.heappush(self._wslots, slot)
+                    lst.append(entry)
+                    self._wheel_count += 1
+                else:
+                    # near/current slot or beyond the horizon
+                    heapq.heappush(self._queue, entry)
+        else:
+            heapq.heappush(self._queue, entry)
+        return entry
+
+    def cancel(self, entry: list) -> bool:
+        """Revoke an entry returned by :meth:`schedule`.
+
+        The entry is cleared in place and skipped when it surfaces; it
+        never counts as a processed event, in either wheel mode.  Returns
+        False if the entry already fired or was already cancelled.
+        """
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        entry[3] = None
+        self._dead += 1
+        queue = self._queue
+        if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(queue):
+            # In-place compaction (run loops alias self._queue).
+            queue[:] = [e for e in queue if e[2] is not None]
+            heapq.heapify(queue)
+            self._dead = 0
+        return True
+
+    # -- wheel bookkeeping --------------------------------------------
+
+    def _advance_wheel(self) -> None:
+        """Dump occupied wheel slots into the heap until the earliest
+        timed entry is at the heap head (or the wheel is empty).
+
+        ``_wslots`` (a min-heap of occupied slot indices) lets the
+        cursor jump straight to the next occupied slot; empty slots are
+        never visited.
+        """
+        queue = self._queue
+        wslots = self._wslots
+        wheel = self._wheel
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while wslots:
+            s = wslots[0]
+            if queue and (queue[0][0] >> _WHEEL_SHIFT) < s:
+                # The heap head fires before any wheel entry.
+                break
+            heappop(wslots)
+            lst = wheel[s & _WHEEL_MASK]
+            self._wheel_count -= len(lst)
+            for e in lst:
+                heappush(queue, e)
+            lst.clear()
+            if s > self._wslot:
+                self._wslot = s
+
+    def _ff_wslot(self, t: int) -> None:
+        """Fast-forward the slot cursor to ``t`` (clock jumped to a
+        deadline), dumping any slots passed over into the heap."""
+        target = t >> _WHEEL_SHIFT
+        if target <= self._wslot:
+            return
+        wslots = self._wslots
+        if wslots:
+            queue = self._queue
+            wheel = self._wheel
+            while wslots and wslots[0] <= target:
+                s = heapq.heappop(wslots)
+                lst = wheel[s & _WHEEL_MASK]
+                self._wheel_count -= len(lst)
+                for e in lst:
+                    heapq.heappush(queue, e)
+                lst.clear()
+        self._wslot = target
+
+    # -- dispatch -----------------------------------------------------
 
     def run(self, until: Optional[int] = None, max_events: int = 200_000_000) -> None:
         """Process events until the queue drains or ``until`` is reached."""
+        if not self._wheel_on:
+            return self._run_heap(until, max_events)
+        processed = 0
+        queue = self._queue
+        nowq = self._nowq
+        heappop = heapq.heappop
+        popleft = nowq.popleft
+        now = self.now
+        while True:
+            if nowq:
+                # Same-instant batch: interleave with heap entries at the
+                # same instant by seq (an entry scheduled earlier with a
+                # positive delay for this exact time must fire first).
+                e0 = nowq[0]
+                if queue and queue[0][0] == now and queue[0][1] < e0[1]:
+                    entry = heappop(queue)
+                else:
+                    entry = popleft()
+                fn = entry[2]
+                if fn is None:
+                    continue
+                fn(*entry[3])
+                processed += 1
+                if processed > max_events:
+                    self.events_processed += processed
+                    raise SimulationError(
+                        "event budget exhausted; likely livelock")
+                continue
+            if self._wheel_count:
+                self._advance_wheel()
+            if not queue:
+                break
+            # Pop first, push back on overshoot: the push-back happens
+            # at most once per run() call, while peek-then-pop paid an
+            # extra queue[0] index on every event.
+            entry = heappop(queue)
+            t = entry[0]
+            if until is not None and t > until:
+                heapq.heappush(queue, entry)
+                self.now = until
+                self._ff_wslot(until)
+                self.events_processed += processed
+                return
+            fn = entry[2]
+            if fn is None:
+                continue
+            ts = t >> _WHEEL_SHIFT
+            if ts > self._wslot:
+                # Safe: _advance_wheel ran just above, so either the
+                # wheel is empty or the head was within the drained span.
+                self._wslot = ts
+            self.now = now = t
+            fn(*entry[3])
+            processed += 1
+            if processed > max_events:
+                self.events_processed += processed
+                raise SimulationError("event budget exhausted; likely livelock")
+        self.events_processed += processed
+        if until is not None:
+            self.now = until
+            self._ff_wslot(until)
+
+    def _run_heap(self, until: Optional[int], max_events: int) -> None:
+        """Classic single-heap dispatch (HIVE_WHEEL=0 path)."""
         processed = 0
         queue = self._queue
         heappop = heapq.heappop
         if until is None:
             while queue:
                 entry = heappop(queue)
+                if entry[2] is None:
+                    continue
                 self.now = entry[0]
                 entry[2](*entry[3])
                 processed += 1
@@ -406,6 +712,8 @@ class Simulator:
             # most once per run() call, while the peek-then-pop form paid
             # an extra queue[0] index on every event.
             entry = heappop(queue)
+            if entry[2] is None:
+                continue
             t = entry[0]
             if t > until:
                 heapq.heappush(queue, entry)
@@ -430,21 +738,80 @@ class Simulator:
         which matters when perpetual background processes (clock ticks,
         monitors) would otherwise keep the queue busy to the deadline.
         """
+        if not self._wheel_on:
+            return self._run_until_event_heap(event, deadline, max_events)
         processed = 0
-        while self._queue and not event.triggered:
-            t, _seq, fn, args = self._queue[0]
-            if deadline is not None and t > deadline:
-                self.now = deadline
+        queue = self._queue
+        nowq = self._nowq
+        heappop = heapq.heappop
+        popleft = nowq.popleft
+        now = self.now
+        while not event._triggered:
+            if nowq:
+                e0 = nowq[0]
+                if queue and queue[0][0] == now and queue[0][1] < e0[1]:
+                    entry = heappop(queue)
+                else:
+                    entry = popleft()
+                fn = entry[2]
+                if fn is None:
+                    continue
+                fn(*entry[3])
+                processed += 1
+                if processed > max_events:
+                    self.events_processed += processed
+                    raise SimulationError(
+                        "event budget exhausted; likely livelock")
+                continue
+            if self._wheel_count:
+                self._advance_wheel()
+            if not queue:
                 break
-            heapq.heappop(self._queue)
-            self.now = t
-            fn(*args)
+            entry = heappop(queue)
+            t = entry[0]
+            if deadline is not None and t > deadline:
+                heapq.heappush(queue, entry)
+                self.now = deadline
+                self._ff_wslot(deadline)
+                break
+            fn = entry[2]
+            if fn is None:
+                continue
+            ts = t >> _WHEEL_SHIFT
+            if ts > self._wslot:
+                self._wslot = ts
+            self.now = now = t
+            fn(*entry[3])
             processed += 1
             if processed > max_events:
                 self.events_processed += processed
                 raise SimulationError("event budget exhausted; likely livelock")
         self.events_processed += processed
-        return event.triggered
+        return event._triggered
+
+    def _run_until_event_heap(self, event: "Event",
+                              deadline: Optional[int],
+                              max_events: int) -> bool:
+        processed = 0
+        queue = self._queue
+        while queue and not event._triggered:
+            entry = queue[0]
+            if entry[2] is None:
+                heapq.heappop(queue)
+                continue
+            t = entry[0]
+            if deadline is not None and t > deadline:
+                self.now = deadline
+                break
+            heapq.heappop(queue)
+            self.now = t
+            entry[2](*entry[3])
+            processed += 1
+            if processed > max_events:
+                self.events_processed += processed
+                raise SimulationError("event budget exhausted; likely livelock")
+        self.events_processed += processed
+        return event._triggered
 
     def run_until_complete(self, proc: "Process", deadline: Optional[int] = None) -> Any:
         """Run until ``proc`` finishes, returning its value (raising on failure)."""
@@ -465,9 +832,43 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         pool = self._timeout_pool
-        if pool:
-            return pool.pop()._reinit(delay, value)
-        return Timeout(self, delay, value)
+        if not pool:
+            return Timeout(self, delay, value)
+        # Inlined reinit + schedule: one pooled timeout is created per
+        # process wakeup, the hottest allocation site in the simulation.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        t = pool.pop()
+        if self.trace_names:
+            t.name = f"timeout({delay})"
+        t.delay = delay
+        t._callbacks = []
+        t._triggered = False
+        t._cb_seen = 0
+        # (_ok is still True and _value is overwritten at expiry: only
+        # successfully-expired timeouts are ever pooled, and .value
+        # raises until the timeout triggers.)
+        self._seq = seq = self._seq + 1
+        tt = self.now + delay
+        entry = [tt, seq, t._expire_cb, _NONE_ARGS if value is None else (value,)]
+        t._entry = entry
+        if self._wheel_on:
+            if delay == 0:
+                self._nowq.append(entry)
+            else:
+                slot = tt >> _WHEEL_SHIFT
+                off = slot - self._wslot
+                if _WHEEL_NEAR < off < _WHEEL_SLOTS:
+                    lst = self._wheel[slot & _WHEEL_MASK]
+                    if not lst:
+                        heapq.heappush(self._wslots, slot)
+                    lst.append(entry)
+                    self._wheel_count += 1
+                else:
+                    heapq.heappush(self._queue, entry)
+        else:
+            heapq.heappush(self._queue, entry)
+        return t
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
         return Process(self, gen, name)

@@ -80,6 +80,55 @@ class Timer:
         )
 
 
+class TimerView:
+    """A Timer-shaped read view over a :class:`Histogram`.
+
+    Lets a legacy timer name keep working after its recording was
+    unified onto a histogram (a value used to be recorded into both,
+    double-counting the work): the view reports the histogram's
+    count/total/mean/min/max through the Timer attribute surface, and
+    a ``record`` call delegates to the histogram so there is exactly
+    one underlying store.
+    """
+
+    __slots__ = ("name", "_hist")
+
+    def __init__(self, name: str, hist: "Histogram"):
+        self.name = name
+        self._hist = hist
+
+    def record(self, duration: int) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} in {self.name}")
+        self._hist.record(duration)
+
+    @property
+    def count(self) -> int:
+        return self._hist.total
+
+    @property
+    def total(self) -> int:
+        return self._hist.sum
+
+    @property
+    def mean(self) -> float:
+        return self._hist.mean
+
+    @property
+    def min(self) -> Optional[int]:
+        return self._hist.min
+
+    @property
+    def max(self) -> Optional[int]:
+        return self._hist.max
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TimerView {self.name} n={self.count} mean={self.mean:.1f}ns "
+            f"min={self.min} max={self.max}>"
+        )
+
+
 class Histogram:
     """Fixed-bucket histogram of durations, for latency distributions.
 
@@ -207,6 +256,14 @@ class MetricSet:
         t = self.timers.get(name)
         if t is None:
             t = Timer(name)
+            self.timers[name] = t
+        return t
+
+    def timer_view(self, name: str, hist: Histogram) -> TimerView:
+        """Install ``name`` as a read view over ``hist`` (see TimerView)."""
+        t = self.timers.get(name)
+        if not isinstance(t, TimerView):
+            t = TimerView(name, hist)
             self.timers[name] = t
         return t
 

@@ -179,3 +179,92 @@ class TestFailureBehaviour:
                 return "timed out"
 
         assert drive(hive2, bench()) == "timed out"
+
+
+class TestFlowControlBackoff:
+    """The SipsQueueFull stall-and-retry path (hardware flow control)."""
+
+    def _stuff_queue(self, system, dst_cell):
+        """Fill the destination's request queue with inert messages that
+        no delivery will ever drain, so every send flow-controls."""
+        from repro.hardware.sips import REQUEST, SipsMessage
+
+        fabric = system.machine.sips
+        dst_node = system.registry.first_node_of(dst_cell)
+        queue = fabric._queues[(dst_node, REQUEST)]
+        while len(queue) < system.params.sips_queue_depth:
+            queue.append(SipsMessage(src_cpu=0, dst_node=dst_node,
+                                     kind=REQUEST, payload=None,
+                                     payload_size=0, send_time=0))
+        return queue
+
+    def test_send_retries_counter_counts_backoff_rounds(self, hive2):
+        c0 = hive2.cell(0)
+        queue = self._stuff_queue(hive2, 1)
+
+        def unclog():
+            # Drain the inert clog after a few backoff rounds so the
+            # call eventually goes through.
+            yield hive2.sim.timeout(30_000)
+            queue.clear()
+
+        hive2.sim.process(unclog())
+
+        def bench():
+            return (yield from c0.rpc.call(1, "ping", {}))
+
+        assert drive(hive2, bench()) == "alive"
+        retries = c0.rpc.metrics.counter("send_retries").value
+        assert retries >= 3  # 2.1 + 4.2 + 8.4 us of doubling backoff
+        assert c0.rpc.metrics.counter("timeouts").value == 0
+
+    def test_flow_control_past_deadline_hints_and_raises(self, hive2):
+        """A peer that stays unreceptive past the call deadline becomes
+        a failure hint, exactly like a silent timeout."""
+        c0 = hive2.cell(0)
+        self._stuff_queue(hive2, 1)
+
+        def bench():
+            try:
+                yield from c0.rpc.call(1, "ping", {},
+                                       timeout_ns=2_000_000)
+            except RpcTimeout:
+                return "timeout"
+
+        assert drive(hive2, bench()) == "timeout"
+        assert c0.rpc.metrics.counter("send_retries").value > 0
+        assert c0.rpc.metrics.counter("timeouts").value == 1
+        assert c0.rpc.metrics.counter("calls").value == 0
+        assert any(h.suspect == 1 for h in c0.detector.hints)
+
+    def test_flow_control_burst_is_deterministic(self):
+        """Two identically-seeded bursts through queue-full backoff must
+        retry the same number of times and finish at the same instant."""
+        from repro.core.hive import boot_hive
+        from repro.hardware.machine import MachineConfig
+        from repro.hardware.params import HardwareParams
+        from repro.sim.engine import Simulator
+
+        def run_burst():
+            sim = Simulator()
+            system = boot_hive(sim, num_cells=2,
+                               machine_config=MachineConfig(
+                                   params=HardwareParams(num_nodes=2)))
+            c0 = system.cell(0)
+            n = system.params.sips_queue_depth * 3
+
+            def one():
+                return (yield from c0.rpc.call(1, "ping", {}))
+
+            procs = [sim.process(one()) for _ in range(n)]
+            sim.run_until_event(sim.all_of(procs),
+                                deadline=sim.now + 60_000_000_000)
+            assert all(p.ok and p.value == "alive" for p in procs)
+            return (sim.now,
+                    c0.rpc.metrics.counter("send_retries").value,
+                    c0.rpc.metrics.counter("calls").value,
+                    system.machine.sips.flow_control_rejections)
+
+        first = run_burst()
+        assert first[1] > 0, "burst never hit flow control"
+        assert first == run_burst()

@@ -107,3 +107,86 @@ class TestBatchVsScalarGolden:
         assert batched["recovery_detected"]
         for key in DETERMINISTIC_ROW_KEYS:
             assert batched[key] == scalar[key], key
+
+
+class TestWheelVsHeapGolden:
+    """The engine timer wheel must be invisible to the simulation: the
+    wheel and classic-heap dispatch loops process the same events in the
+    same order, so *every* deterministic row key — including the engine
+    event count itself — must match."""
+
+    def test_throughput_small_wheel_toggle(self):
+        from repro.bench.throughput import run_throughput
+
+        wheel = run_throughput("small", seed=11, wheel=True)
+        heap = run_throughput("small", seed=11, wheel=False)
+        assert wheel["recovery_detected"]
+        for key in DETERMINISTIC_ROW_KEYS:
+            assert wheel[key] == heap[key], key
+
+    def test_rpc_bench_small_wheel_toggle(self):
+        from repro.bench.rpcbench import (
+            RPC_DETERMINISTIC_KEYS,
+            run_rpc_bench,
+        )
+
+        wheel = run_rpc_bench("small", seed=11, wheel=True)
+        heap = run_rpc_bench("small", seed=11, wheel=False)
+        assert wheel["round_trips"] > 0
+        for key in RPC_DETERMINISTIC_KEYS:
+            assert wheel[key] == heap[key], key
+
+
+class TestRpcFastVsSlowGolden:
+    """The HIVE_RPC_FAST path must leave every *simulated* RPC outcome
+    unchanged: counts, latencies, sends, retries, and the finish time.
+    (``events_processed`` legitimately differs — the fast path exists to
+    dispatch fewer engine events per round trip.)"""
+
+    def test_rpc_bench_small_fast_toggle(self):
+        from repro.bench.rpcbench import (
+            RPC_DETERMINISTIC_KEYS,
+            run_rpc_bench,
+        )
+
+        fast = run_rpc_bench("small", seed=11, fast=True)
+        slow = run_rpc_bench("small", seed=11, fast=False)
+        assert fast["round_trips"] > 0
+        assert fast["served_queued"] > 0  # mix exercises the queued path
+        for key in RPC_DETERMINISTIC_KEYS:
+            assert fast[key] == slow[key], key
+
+    def test_sw_cow_tree_fast_toggle(self):
+        """The recovery-heaviest Table 7.4 scenario (agreement rounds,
+        probe RPCs, timeouts against dead cells) byte-for-byte."""
+
+        def toggle(fast):
+            def on_boot(system):
+                for cell in system.cells:
+                    cell.rpc.fast_enabled = fast
+
+            from repro.bench.faultexp import FaultExperimentRunner
+            captured = {}
+
+            def boot_hook(system):
+                on_boot(system)
+                captured["system"] = system
+
+            runner = FaultExperimentRunner(on_boot=boot_hook)
+            trial = runner.run_trial(SW_COW_TREE, seed=SEED)
+            system = captured["system"]
+            records = tuple(_record_key(r)
+                            for r in system.coordinator.records)
+            return (
+                (trial.scenario, trial.seed, trial.injected_at_ns,
+                 trial.detected, trial.last_entry_latency_ns,
+                 trial.contained, trial.survivors_alive,
+                 trial.outputs_ok, trial.check_ok,
+                 trial.recovery_duration_ns),
+                records,
+            )
+
+        fast = toggle(True)
+        slow = toggle(False)
+        assert fast[0][3], "fault was never detected"
+        assert fast == slow

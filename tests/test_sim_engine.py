@@ -313,3 +313,170 @@ class TestDeterminism:
             return trace
 
         assert build() == build()
+
+
+class TestCancellation:
+    def test_cancel_revokes_scheduled_entry(self):
+        sim = Simulator()
+        seen = []
+        entry = sim.schedule(100, seen.append, "x")
+        assert sim.cancel(entry)
+        sim.schedule(200, seen.append, "y")
+        sim.run()
+        assert seen == ["y"]
+
+    def test_cancelled_entry_does_not_count_as_processed(self):
+        sim = Simulator()
+        entry = sim.schedule(100, lambda: None)
+        sim.cancel(entry)
+        sim.schedule(200, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_cancel_twice_returns_false(self):
+        sim = Simulator()
+        entry = sim.schedule(100, lambda: None)
+        assert sim.cancel(entry)
+        assert not sim.cancel(entry)
+
+    def test_timeout_cancel_revokes_expiry(self):
+        sim = Simulator()
+        t = sim.timeout(500)
+        assert t.cancel()
+        sim.schedule(1000, lambda: None)
+        sim.run()
+        assert not t.triggered
+
+    def test_timeout_cancel_refused_while_waited_on(self):
+        sim = Simulator()
+        t = sim.timeout(500)
+
+        def waiter():
+            yield t
+
+        sim.process(waiter())
+        sim.run(until=0)  # let the process reach its yield
+        assert not t.cancel()
+        sim.run()
+        assert t.triggered
+
+    def test_timeout_cancel_after_trigger_returns_false(self):
+        sim = Simulator()
+        t = sim.timeout(10)
+        sim.run()
+        assert t.triggered
+        assert not t.cancel()
+
+    def test_any_of_cancels_losing_timeout(self):
+        """The RPC wait pattern: when the reply wins, the deadline
+        timeout's queue entry must be revoked, not left to churn."""
+        sim = Simulator()
+        reply = sim.event("reply")
+        deadline = sim.timeout(1_000_000)
+        winner_box = []
+
+        def waiter():
+            winner = yield sim.any_of([reply, deadline])
+            winner_box.append(winner)
+
+        sim.process(waiter())
+        sim.schedule(100, reply.succeed, "ok")
+        sim.run()
+        assert winner_box == [reply]
+        assert not deadline.triggered
+        assert deadline._entry is None or deadline._entry[2] is None
+
+    def test_interrupt_cancels_abandoned_timeout(self):
+        sim = Simulator()
+        t = sim.timeout(1_000_000)
+
+        def sleeper():
+            try:
+                yield t
+            except Interrupted:
+                return "interrupted"
+
+        proc = sim.process(sleeper())
+        sim.schedule(10, proc.interrupt, "wake")
+        sim.run()
+        assert proc.value == "interrupted"
+        assert not t.triggered
+        assert t._entry is None or t._entry[2] is None
+
+
+def _dispatch_trace(wheel):
+    """A mixed schedule exercising nowq, wheel slots, and heap tiers."""
+    sim = Simulator(wheel=wheel)
+    trace = []
+
+    def note(tag):
+        trace.append((sim.now, tag))
+
+    # zero-delay, same-slot, cross-slot, and beyond-horizon entries
+    delays = [0, 1, 100, 65_535, 65_536, 70_000, 1_000_000,
+              300_000_000, 500_000_000]
+    for i, d in enumerate(delays):
+        sim.schedule(d, note, f"d{i}")
+    # same-instant ties scheduled later must fire after earlier ones
+    sim.schedule(100, note, "tie")
+
+    def proc(tag, gap, n):
+        for _ in range(n):
+            yield sim.timeout(gap)
+            note(tag)
+
+    for i in range(3):
+        sim.process(proc(f"p{i}", 40_000 + i * 13_000, 8))
+    cancelled = sim.schedule(200_000, note, "never")
+    sim.cancel(cancelled)
+    sim.run()
+    return trace, sim.events_processed, sim.now
+
+
+class TestTimerWheel:
+    def test_wheel_and_heap_dispatch_identically(self):
+        assert _dispatch_trace(wheel=True) == _dispatch_trace(wheel=False)
+
+    def test_far_future_timer_beyond_horizon_fires(self):
+        sim = Simulator(wheel=True)
+        seen = []
+        # ~500 ms is far past the wheel horizon -> heap fallback.
+        sim.schedule(500_000_000, seen.append, "far")
+        sim.run()
+        assert seen == ["far"] and sim.now == 500_000_000
+
+    def test_run_until_fast_forwards_wheel_cursor(self):
+        sim = Simulator(wheel=True)
+        seen = []
+        sim.schedule(10_000_000, seen.append, "late")
+        sim.run(until=5_000_000)
+        assert seen == [] and sim.now == 5_000_000
+        sim.run()
+        assert seen == ["late"] and sim.now == 10_000_000
+
+    def test_wheel_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("HIVE_WHEEL", "0")
+        assert not Simulator()._wheel_on
+        monkeypatch.setenv("HIVE_WHEEL", "1")
+        assert Simulator()._wheel_on
+
+    def test_run_until_event_equivalent_across_modes(self):
+        def run(wheel):
+            sim = Simulator(wheel=wheel)
+            done = sim.event("done")
+
+            def ticker():
+                for _ in range(50):
+                    yield sim.timeout(30_000)
+
+            def finisher():
+                yield sim.timeout(400_000)
+                done.succeed("yes")
+
+            sim.process(ticker())
+            sim.process(finisher())
+            fired = sim.run_until_event(done,
+                                        deadline=sim.now + 10_000_000)
+            return fired, sim.now, sim.events_processed
+
+        assert run(True) == run(False)
