@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,6 +35,8 @@ from repro.bench.faultexp import (
     ScenarioSummary,
 )
 from repro.bench.throughput import BENCH_SCHEMA, CONFIGS, run_throughput
+from repro.obs.availability import merge_availability
+from repro.obs.profile import merge_tier_snapshots
 
 
 class CampaignError(RuntimeError):
@@ -43,6 +46,42 @@ class CampaignError(RuntimeError):
 #: simulated counters that must be identical across repeats of one cell
 DETERMINISTIC_KEYS = ("events", "accesses", "driver_accesses",
                       "discarded_pages", "writable_page_samples", "samples")
+
+
+def _heartbeat(done: int, total: int, label: str, sim_ms: float,
+               events: int, wall_s: float, extra: str = "") -> None:
+    """One campaign progress line on stderr (``--progress`` runs)."""
+    rate = events / wall_s if wall_s > 0 else 0.0
+    sys.stderr.write(
+        f"[campaign] shard {done}/{total} {label}: "
+        f"sim-time {sim_ms:.0f} ms, {rate:,.0f} events/s{extra}\n")
+    sys.stderr.flush()
+
+
+def _run_shards(shards, worker, procs: int, on_shard=None) -> list:
+    """Run the shard list, serially or on a pool.
+
+    Completed shards stream through ``on_shard`` (the heartbeat hook) in
+    completion order; the returned list is NOT order-stable under a
+    pool — callers must sort by shard key before merging, or the merged
+    payload would depend on scheduling.
+    """
+    if procs <= 1:
+        raw = []
+        for i, shard in enumerate(shards):
+            result = worker(shard)
+            raw.append(result)
+            if on_shard is not None:
+                on_shard(i + 1, result)
+        return raw
+    raw = []
+    with _pool_context().Pool(processes=procs) as pool:
+        for i, result in enumerate(
+                pool.imap_unordered(worker, shards, chunksize=1)):
+            raw.append(result)
+            if on_shard is not None:
+                on_shard(i + 1, result)
+    return raw
 
 
 def _pool_context():
@@ -144,13 +183,16 @@ def merge_bench_shards(shards: Sequence[dict], seed: int,
 def run_bench_campaign(configs: Optional[List[str]] = None,
                        seed: int = 1995, repeats: int = 1,
                        workers: int = 2,
-                       batch: Optional[bool] = None) -> dict:
+                       batch: Optional[bool] = None,
+                       progress: bool = False) -> dict:
     """Shard the throughput suite across a process pool and merge.
 
     Returns the merged ``run_suite``-shaped payload plus a
     ``"parallel"`` section recording the pool size, the campaign wall
     clock, and the summed per-shard wall clock (the serial-equivalent
-    cost the pool amortized).
+    cost the pool amortized).  ``progress`` prints one heartbeat line
+    per completed shard on stderr (the CLI turns it on; library callers
+    and tests stay silent).
     """
     names = list(configs) if configs else list(CONFIGS)
     repeats = max(1, repeats)
@@ -160,13 +202,25 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
     shards.sort(key=lambda s: CONFIGS[s[0]].num_nodes
                 * CONFIGS[s[0]].duration_ms, reverse=True)
     procs = _effective_workers(workers)
+
+    def on_shard(done: int, shard: dict) -> None:
+        if shard["status"] != "ok":
+            _heartbeat(done, len(shards),
+                       f"{shard['config']} repeat {shard['repeat']}",
+                       0.0, 0, 0.0, "  FAILED")
+            return
+        row = shard["row"]
+        _heartbeat(done, len(shards),
+                   f"{shard['config']} repeat {shard['repeat']}",
+                   row["sim_ms"], row["events"], row["wall_s"])
+
     wall0 = time.perf_counter()
-    if procs <= 1:
-        raw = [_bench_shard_worker(s) for s in shards]
-    else:
-        with _pool_context().Pool(processes=procs) as pool:
-            raw = pool.map(_bench_shard_worker, shards, chunksize=1)
+    raw = _run_shards(shards, _bench_shard_worker, procs,
+                      on_shard=on_shard if progress else None)
     campaign_wall = time.perf_counter() - wall0
+    # Completion order is scheduling-dependent; restore the shard-key
+    # order so every derived payload is byte-stable for a given seed.
+    raw.sort(key=lambda s: (s["config"], s["repeat"]))
     payload = merge_bench_shards(raw, seed=seed, repeats=repeats)
     shard_walls = [s["row"]["wall_s"] + s["row"]["boot_wall_s"]
                    for s in raw if s["status"] == "ok"]
@@ -186,27 +240,43 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
 
 def _inject_shard_worker(
         shard: Tuple[str, int, str, Optional[str]]) -> dict:
-    """One (scenario, seed) trial; runs in a pool worker process."""
+    """One (scenario, seed) trial; runs in a pool worker process.
+
+    Every trial records a flight recorder (the spans are deterministic
+    and the recording cost is noise next to the trial itself) and ships
+    its availability ledger and tier counters back as JSON-safe dicts,
+    so the merged campaign report carries recovery-latency percentiles
+    and per-cell availability even when no telemetry dir was requested.
+    """
     scenario, seed, agreement, telemetry_dir = shard
     try:
+        from repro.obs import (attach_flight_recorder, availability_report,
+                               tier_snapshot)
+
         telemetry = {}
 
         def on_boot(system) -> None:
-            from repro.obs import attach_flight_recorder
             telemetry["recorder"] = attach_flight_recorder(system)
             telemetry["system"] = system
 
-        runner = FaultExperimentRunner(
-            agreement=agreement,
-            on_boot=on_boot if telemetry_dir else None)
+        wall0 = time.perf_counter()
+        runner = FaultExperimentRunner(agreement=agreement, on_boot=on_boot)
         trial = runner.run_trial(scenario, seed)
+        wall_s = time.perf_counter() - wall0
         out: dict = {"status": "ok", "scenario": scenario, "seed": seed,
                      "trial": trial.to_dict()}
-        if telemetry_dir and telemetry.get("recorder") is not None:
+        system = telemetry.get("system")
+        recorder = telemetry.get("recorder")
+        if system is not None:
+            out["availability"] = availability_report(recorder, system)
+            out["tiers"] = tier_snapshot(system)
+            out["heartbeat"] = {"sim_ms": system.sim.now / 1e6,
+                                "events": system.sim.events_processed,
+                                "wall_s": round(wall_s, 4)}
+        if telemetry_dir and recorder is not None:
             from repro.obs import write_telemetry
             shard_dir = os.path.join(telemetry_dir, f"{scenario}-{seed}")
-            write_telemetry(shard_dir, telemetry["recorder"],
-                            telemetry["system"])
+            write_telemetry(shard_dir, recorder, system)
             out["telemetry_dir"] = shard_dir
         return out
     except Exception:
@@ -222,6 +292,9 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
     summaries: Dict[str, ScenarioSummary] = {}
     telemetry_dirs: List[str] = []
     failures: List[dict] = []
+    avail_labels: List[str] = []
+    avail_reports: List[dict] = []
+    tier_snaps: List[dict] = []
     for shard in shards:
         key = (shard["scenario"], shard["seed"])
         if key in seen:
@@ -237,6 +310,11 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
         summary = summaries.setdefault(
             shard["scenario"], ScenarioSummary(scenario=shard["scenario"]))
         summary.trials.append(FaultTrialResult.from_dict(shard["trial"]))
+        if shard.get("availability"):
+            avail_labels.append(f"{shard['scenario']}-{shard['seed']}")
+            avail_reports.append(shard["availability"])
+        if shard.get("tiers"):
+            tier_snaps.append(shard["tiers"])
         if shard.get("telemetry_dir"):
             telemetry_dirs.append(shard["telemetry_dir"])
     for summary in summaries.values():
@@ -258,6 +336,16 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
             "latencies_ms": summary.latencies_ms,
         }
     payload: dict = {"scenarios": scenarios, "summaries": summaries}
+    if avail_reports:
+        # Shards arrive pre-sorted by (scenario, seed) from the campaign
+        # runner; the zip keeps labels aligned either way.
+        order = sorted(range(len(avail_labels)),
+                       key=lambda i: avail_labels[i])
+        payload["availability"] = merge_availability(
+            [avail_reports[i] for i in order],
+            labels=[avail_labels[i] for i in order])
+    if tier_snaps:
+        payload["tiers"] = merge_tier_snapshots(tier_snaps)
     if telemetry_dirs:
         payload["telemetry_dirs"] = sorted(telemetry_dirs)
     if failures:
@@ -268,11 +356,13 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
 def run_inject_campaign(scenarios: List[str], trials: int,
                         seed_base: int = 1995, workers: int = 2,
                         agreement: str = "oracle",
-                        telemetry_dir: Optional[str] = None) -> dict:
+                        telemetry_dir: Optional[str] = None,
+                        progress: bool = False) -> dict:
     """Shard Table 7.4 trials across a process pool and merge.
 
     Each trial is one shard — the slowest scenario (sw_cow_tree) runs
     minutes-long trials, so trial granularity keeps the pool busy.
+    ``progress`` prints one heartbeat line per completed trial.
     """
     shards = [(scenario, seed_base + i, agreement, telemetry_dir)
               for scenario in scenarios for i in range(trials)]
@@ -280,13 +370,28 @@ def run_inject_campaign(scenarios: List[str], trials: int,
     slow = {s: PAPER_TABLE_7_4[s][2] for s in PAPER_TABLE_7_4}
     shards.sort(key=lambda s: slow.get(s[0], 0), reverse=True)
     procs = _effective_workers(workers)
+
+    def on_shard(done: int, shard: dict) -> None:
+        label = f"{shard['scenario']} seed {shard['seed']}"
+        if shard["status"] != "ok":
+            _heartbeat(done, len(shards), label, 0.0, 0, 0.0, "  FAILED")
+            return
+        hb = shard.get("heartbeat")
+        extra = ("  contained" if shard["trial"].get("contained")
+                 else "  NOT contained")
+        if hb is None:
+            _heartbeat(done, len(shards), label, 0.0, 0, 0.0, extra)
+        else:
+            _heartbeat(done, len(shards), label, hb["sim_ms"],
+                       hb["events"], hb["wall_s"], extra)
+
     wall0 = time.perf_counter()
-    if procs <= 1:
-        raw = [_inject_shard_worker(s) for s in shards]
-    else:
-        with _pool_context().Pool(processes=procs) as pool:
-            raw = pool.map(_inject_shard_worker, shards, chunksize=1)
+    raw = _run_shards(shards, _inject_shard_worker, procs,
+                      on_shard=on_shard if progress else None)
     campaign_wall = time.perf_counter() - wall0
+    # Pool completion order is scheduling-dependent; sort by shard key
+    # so the merged payload is byte-stable for a given seed base.
+    raw.sort(key=lambda s: (s["scenario"], s["seed"]))
     payload = merge_inject_shards(raw)
     payload["parallel"] = {
         "workers": workers,

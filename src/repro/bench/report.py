@@ -1,9 +1,21 @@
-"""Paper-vs-measured report rendering for the benchmark harness."""
+"""Paper-vs-measured report rendering for the benchmark harness, plus
+the campaign observatory report (``repro report``).
+
+The campaign report renders the merged fault-injection campaign payload
+(availability ledger, hot-path tier counters, containment table) and the
+committed ``BENCH_pr*.json`` trajectory into markdown or JSON.  Every
+figure in it derives from deterministic simulation counters — wall-clock
+rates never appear — so a same-seed campaign renders byte-identically.
+"""
 
 from __future__ import annotations
 
+import glob
+import json
+import os
+import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 Number = Union[int, float]
 
@@ -63,3 +75,287 @@ class ComparisonTable:
         print()
         print(self.render())
         print()
+
+
+# ---------------------------------------------------------------------------
+# campaign observatory report
+# ---------------------------------------------------------------------------
+
+#: events/s drop (vs the previous committed bench file) that fails
+#: ``repro report --check``.
+REGRESSION_THRESHOLD = 0.30
+
+_BENCH_RE = re.compile(r"^BENCH_pr(\d+)\.json$")
+
+
+def _ms(ns: Number) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+def _pct(value: Number) -> str:
+    return f"{value * 100:.2f}%"
+
+
+def load_bench_trajectory(root: str = ".") -> List[Dict[str, Any]]:
+    """All committed ``BENCH_pr<N>.json`` files under ``root``, sorted by
+    PR number (oldest first).  Unreadable files are skipped."""
+    entries = []
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        match = _BENCH_RE.match(os.path.basename(path))
+        if not match:
+            continue
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        entries.append({"pr": int(match.group(1)),
+                        "file": os.path.basename(path),
+                        "payload": payload})
+    entries.sort(key=lambda e: e["pr"])
+    return entries
+
+
+def trajectory_rows(trajectory: List[Dict[str, Any]],
+                    config: str = "large") -> List[Dict[str, Any]]:
+    """events/s per committed bench file for one config (None when the
+    file predates that config or has no throughput section)."""
+    rows = []
+    for entry in trajectory:
+        results = entry["payload"].get("results") or {}
+        row = results.get(config)
+        eps = row.get("events_per_sec") if isinstance(row, dict) else None
+        # Prefer the uncontended single-process rate when the campaign
+        # recorded one — pool contention makes shard rates pessimistic.
+        single = (entry["payload"].get("single_process") or {}).get(config)
+        if isinstance(single, dict):
+            eps = single.get("events_per_sec", eps)
+        rows.append({"pr": entry["pr"], "file": entry["file"],
+                     "events_per_sec": eps})
+    return rows
+
+
+def regression_delta(trajectory: List[Dict[str, Any]],
+                     config: str = "large") -> Optional[Dict[str, Any]]:
+    """Fractional events/s change between the two newest bench files
+    that report the config; None when fewer than two do."""
+    rows = [r for r in trajectory_rows(trajectory, config)
+            if isinstance(r["events_per_sec"], (int, float))
+            and r["events_per_sec"] > 0]
+    if len(rows) < 2:
+        return None
+    prev, cur = rows[-2], rows[-1]
+    delta = ((cur["events_per_sec"] - prev["events_per_sec"])
+             / prev["events_per_sec"])
+    return {"config": config, "baseline": prev, "current": cur,
+            "delta": delta}
+
+
+def _availability_lines(avail: Dict[str, Any]) -> List[str]:
+    lines = ["## Availability", ""]
+    lines.append("| cell | up (ms) | suspended (ms) | dead (ms) | "
+                 "availability | faults |")
+    lines.append("|---:|---:|---:|---:|---:|---:|")
+    for cid in sorted(avail["cells"], key=int):
+        row = avail["cells"][cid]
+        lines.append(
+            f"| {cid} | {_ms(row['up_ns'])} | {_ms(row['suspended_ns'])} "
+            f"| {_ms(row['dead_ns'])} | {_pct(row['availability'])} "
+            f"| {row['faults']} |")
+    lines.append("")
+    lines.append(f"Faults injected: {avail['faults_injected']}; rounds "
+                 f"recovered: {avail['rounds_recovered']}; horizon "
+                 f"{_ms(avail['horizon_ns'])} ms simulated (summed over "
+                 f"trials).")
+    lines.append("")
+    lines.append("| latency | n | p50 (ms) | p95 (ms) | p99 (ms) | "
+                 "max (ms) |")
+    lines.append("|---|---:|---:|---:|---:|---:|")
+    for label, key in (("recovery round", "recovery_latency_ns"),
+                       ("detection", "detection_latency_ns")):
+        snap = avail[key]
+        lines.append(
+            f"| {label} | {snap['n']} | {_ms(snap['p50'])} "
+            f"| {_ms(snap['p95'])} | {_ms(snap['p99'])} "
+            f"| {_ms(snap['max'])} |")
+    work = avail["work_lost"]
+    lines.append("")
+    lines.append("Work lost per fault: "
+                 f"{work['per_fault_discarded_pages']:.1f} pages "
+                 f"discarded, {work['per_fault_killed_processes']:.1f} "
+                 f"processes killed "
+                 f"(totals: {work['discarded_pages']} pages, "
+                 f"{work['killed_processes']} killed, "
+                 f"{work['surviving_processes']} survived, "
+                 f"{work['files_lost']} files lost).")
+    return lines
+
+
+def _tiers_lines(tiers: Dict[str, Any]) -> List[str]:
+    lines = ["## Hot-path tiers", ""]
+    coh = tiers.get("coherence")
+    if coh:
+        lines.append(
+            f"- coherence batches: {coh['batches_total']} "
+            f"(memo {_pct(coh['memo_hit_rate'])}, "
+            f"inline {_pct(coh['inline_rate'])}, "
+            f"vectorized {_pct(coh['vector_rate'])}, "
+            f"scalar {_pct(coh['scalar_rate'])})")
+    rpc = tiers.get("rpc")
+    if rpc:
+        lines.append(
+            f"- RPC dispatches: {rpc['calls_total']} "
+            f"(fast path {_pct(rpc['fast_rate'])}, "
+            f"slow path {rpc['slow_path']} calls)")
+    eng = tiers.get("engine")
+    if eng:
+        lines.append(
+            f"- engine dispatches: {eng['dispatches_total']} "
+            f"(same-instant {_pct(eng['nowq_rate'])}, "
+            f"heap {_pct(eng['heap_rate'])}, "
+            f"inline timer {_pct(eng['inline_rate'])}; "
+            f"wheel-routed {eng['wheel_routed']})")
+    else:
+        lines.append("- engine dispatches: not profiled "
+                     "(set HIVE_PROFILE=1 to attribute engine time)")
+    return lines
+
+
+def _scenario_lines(scenarios: Dict[str, Any]) -> List[str]:
+    lines = ["## Containment (Table 7.4)", ""]
+    lines.append("| scenario | workload | contained | detection avg/max "
+                 "(ms) | paper avg/max (ms) |")
+    lines.append("|---|---|---:|---:|---:|")
+    for name in sorted(scenarios):
+        row = scenarios[name]
+        if row["detection_avg_ms"] is None:
+            detect = "n/a"
+        else:
+            detect = (f"{row['detection_avg_ms']:.1f} / "
+                      f"{row['detection_max_ms']:.1f}")
+        lines.append(
+            f"| {name} | {row['workload']} "
+            f"| {row['contained']}/{row['trials']} | {detect} "
+            f"| {row['paper_avg_ms']} / {row['paper_max_ms']} |")
+    return lines
+
+
+def _trajectory_lines(trajectory: List[Dict[str, Any]],
+                      config: str = "large") -> List[str]:
+    lines = [f"## Throughput trajectory ({config} config)", ""]
+    rows = trajectory_rows(trajectory, config)
+    if not rows:
+        lines.append("No committed BENCH_pr*.json files found.")
+        return lines
+    lines.append("| bench file | events/s | delta |")
+    lines.append("|---|---:|---:|")
+    prev = None
+    for row in rows:
+        eps = row["events_per_sec"]
+        if not isinstance(eps, (int, float)):
+            lines.append(f"| {row['file']} | - | - |")
+            continue
+        delta = "-"
+        if prev:
+            delta = f"{(eps - prev) / prev * 100:+.1f}%"
+        lines.append(f"| {row['file']} | {eps:,.0f} | {delta} |")
+        prev = eps
+    reg = regression_delta(trajectory, config)
+    if reg is not None:
+        lines.append("")
+        verdict = ("REGRESSION" if reg["delta"] < -REGRESSION_THRESHOLD
+                   else "ok")
+        lines.append(
+            f"Latest vs previous: {reg['delta'] * 100:+.1f}% "
+            f"({reg['baseline']['file']} -> {reg['current']['file']}): "
+            f"{verdict} (threshold -{REGRESSION_THRESHOLD * 100:.0f}%).")
+    return lines
+
+
+def render_campaign_report(payload: Dict[str, Any],
+                           trajectory: Optional[List[Dict[str, Any]]]
+                           = None) -> str:
+    """The campaign observatory report as markdown.
+
+    Only deterministic counters appear, so same-seed campaigns render
+    byte-identically.
+    """
+    lines = ["# Campaign report", ""]
+    scenarios = payload.get("scenarios")
+    if scenarios:
+        lines += _scenario_lines(scenarios)
+        lines.append("")
+    avail = payload.get("availability")
+    if avail:
+        lines += _availability_lines(avail)
+        lines.append("")
+    tiers = payload.get("tiers")
+    if tiers:
+        lines += _tiers_lines(tiers)
+        lines.append("")
+    if trajectory is not None:
+        lines += _trajectory_lines(trajectory)
+        lines.append("")
+    failures = payload.get("failures")
+    if failures:
+        lines.append(f"**{len(failures)} trial(s) FAILED** — see the "
+                     "campaign output for tracebacks.")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def campaign_report_json(payload: Dict[str, Any],
+                         trajectory: Optional[List[Dict[str, Any]]]
+                         = None) -> Dict[str, Any]:
+    """The same report as a JSON-safe dict (serialize with
+    ``sort_keys=True`` for byte-stable output)."""
+    out: Dict[str, Any] = {}
+    for key in ("scenarios", "availability", "tiers", "failures"):
+        if payload.get(key):
+            out[key] = payload[key]
+    if trajectory is not None:
+        out["trajectory"] = trajectory_rows(trajectory)
+        reg = regression_delta(trajectory)
+        if reg is not None:
+            out["regression"] = reg
+    return out
+
+
+def check_campaign_report(payload: Dict[str, Any],
+                          trajectory: Optional[List[Dict[str, Any]]]
+                          = None,
+                          threshold: float = REGRESSION_THRESHOLD,
+                          ) -> List[str]:
+    """Problems that should fail ``repro report --check`` (empty list
+    means healthy): missing availability percentiles, uncontained or
+    failed trials, and a >threshold events/s drop between the two
+    newest committed bench files."""
+    problems: List[str] = []
+    avail = payload.get("availability")
+    if not avail:
+        problems.append("campaign payload has no availability section")
+    else:
+        lat = avail.get("recovery_latency_ns") or {}
+        for key in ("p50", "p95", "p99"):
+            if not isinstance(lat.get(key), (int, float)):
+                problems.append(f"recovery latency {key} missing")
+        if avail.get("faults_injected", 0) > 0 and lat.get("n", 0) == 0:
+            problems.append("faults injected but no recovery rounds "
+                            "recorded a latency")
+    for failure in payload.get("failures", []):
+        problems.append(f"trial {failure['scenario']!r} seed "
+                        f"{failure['seed']} failed")
+    for name in sorted(payload.get("scenarios") or {}):
+        row = payload["scenarios"][name]
+        if row["contained"] != row["trials"]:
+            problems.append(
+                f"{name}: only {row['contained']}/{row['trials']} "
+                f"trials contained")
+    if trajectory:
+        reg = regression_delta(trajectory)
+        if reg is not None and reg["delta"] < -threshold:
+            problems.append(
+                f"events/s regression {reg['delta'] * 100:+.1f}% from "
+                f"{reg['baseline']['file']} to {reg['current']['file']} "
+                f"(threshold -{threshold * 100:.0f}%)")
+    return problems

@@ -39,6 +39,7 @@ from repro.hardware.errors import BusError, FirewallViolation
 from repro.hardware.faults import FaultInjector
 from repro.hardware.machine import MachineConfig
 from repro.hardware.params import NS_PER_MS, HardwareParams
+from repro.obs.profile import tier_snapshot
 from repro.sim.engine import Simulator
 
 BENCH_SCHEMA = "hive-throughput/v1"
@@ -262,6 +263,9 @@ def run_throughput(config: str, seed: int = 1995,
         "samples": counters["samples"],
         "recovery_detected": bool(records),
         "discarded_pages": discarded,
+        # Hot-path tier attribution (seed-deterministic counts; the
+        # engine section is non-null only under HIVE_PROFILE=1).
+        "tiers": tier_snapshot(system),
     }
 
 

@@ -9,14 +9,20 @@ Usage::
     python -m repro inject hw_random --trials 3
     python -m repro inject sw_cow_tree --agreement voting
     python -m repro trace pmake
-    python -m repro metrics raytrace
+    python -m repro metrics raytrace --format json
+    python -m repro report --trials 2 --parallel 4
+    python -m repro report --check --out report.md
 
 ``run`` executes one of the paper's workloads on a chosen configuration
 and prints the elapsed simulated time and health counters; ``micro``
 prints the microbenchmark anchors against the paper's values; ``inject``
 runs Table 7.4 fault-injection trials and reports containment; ``trace``
 runs a workload under the flight recorder and prints the span summary;
-``metrics`` prints the per-cell per-subsystem metrics snapshot.
+``metrics`` prints the per-cell per-subsystem metrics snapshot;
+``report`` runs (or loads) a fault-injection campaign and renders the
+campaign observatory report — per-cell availability, recovery-latency
+percentiles, hot-path tier hit rates, and the committed
+``BENCH_pr*.json`` throughput trajectory with regression deltas.
 ``--telemetry-out DIR`` on run/inject/micro additionally writes the
 machine-readable artifacts (JSONL spans, Chrome trace, metrics snapshot,
 fault timeline, ``BENCH_pr2.json``).
@@ -172,7 +178,67 @@ def cmd_trace(args) -> int:
 
 def cmd_metrics(args) -> int:
     system, recorder, result = _run_traced(args)
-    print(render_snapshot(snapshot_system(system)))
+    snap = snapshot_system(system)
+    if args.format == "json":
+        import json
+
+        # sort_keys gives a byte-stable key order for diffing/golden
+        # files; the table renderer sorts internally already.
+        print(json.dumps(snap, sort_keys=True, indent=2))
+    else:
+        print(render_snapshot(snap))
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json
+
+    from repro.bench.parallel import run_inject_campaign
+    from repro.bench.report import (
+        campaign_report_json,
+        check_campaign_report,
+        load_bench_trajectory,
+        render_campaign_report,
+    )
+
+    if args.from_json:
+        with open(args.from_json) as fh:
+            payload = json.load(fh)
+    else:
+        scenarios = (list(ALL_SCENARIOS) if args.scenario == "all"
+                     else [args.scenario])
+        payload = run_inject_campaign(
+            scenarios, trials=args.trials, seed_base=args.seed,
+            workers=max(1, args.parallel), agreement=args.agreement,
+            progress=args.progress)
+    trajectory = load_bench_trajectory(args.bench_dir)
+    if args.save_campaign:
+        # "summaries" holds dataclass objects for the inject CLI; the
+        # rest of the payload is JSON-safe and round-trips --from-json.
+        safe = {k: v for k, v in payload.items() if k != "summaries"}
+        with open(args.save_campaign, "w") as fh:
+            json.dump(safe, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"campaign written    : {args.save_campaign}",
+              file=sys.stderr)
+    if args.format == "json":
+        text = json.dumps(campaign_report_json(payload, trajectory),
+                          sort_keys=True, indent=2) + "\n"
+    else:
+        text = render_campaign_report(payload, trajectory)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written      : {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    if args.check:
+        problems = check_campaign_report(payload, trajectory)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("report check        : clean", file=sys.stderr)
     return 0
 
 
@@ -278,7 +344,8 @@ def _cmd_inject_campaign(args) -> int:
     payload = run_inject_campaign(scenarios, trials=args.trials,
                                   seed_base=args.seed, workers=workers,
                                   agreement=args.agreement,
-                                  telemetry_dir=args.telemetry_out)
+                                  telemetry_dir=args.telemetry_out,
+                                  progress=args.progress)
     failures = len(payload.get("failures", []))
     for failure in payload.get("failures", []):
         print(f"FAILED trial {failure['scenario']!r} seed "
@@ -339,7 +406,8 @@ def cmd_bench(args) -> int:
     if args.parallel > 1:
         payload = run_bench_campaign(names, seed=args.seed,
                                      repeats=args.repeats,
-                                     workers=args.parallel)
+                                     workers=args.parallel,
+                                     progress=args.progress)
     else:
         payload = run_suite(names, seed=args.seed, repeats=args.repeats)
     failed = bool(payload.get("failures"))
@@ -554,6 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="run a workload and print the per-cell "
                         "per-subsystem metrics snapshot")
     p_metrics.add_argument("workload", choices=sorted(WORKLOADS))
+    p_metrics.add_argument("--format", choices=["table", "json"],
+                           default="table",
+                           help="output format; both render keys in "
+                                "stable sorted order (default: table)")
     hive_config(p_metrics)
     common(p_metrics)
     p_metrics.set_defaults(fn=cmd_metrics, irix=False, wax=False)
@@ -577,6 +649,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_inject.add_argument("--parallel", type=int, default=2, metavar="N",
                           help="worker processes for --campaign "
                                "(default: 2)")
+    p_inject.add_argument("--progress", action="store_true",
+                          help="print a heartbeat line (shard i/N, "
+                               "sim-time, events/s) per completed "
+                               "--campaign trial")
     common(p_inject)
     telemetry(p_inject)
     p_inject.set_defaults(fn=cmd_inject)
@@ -587,8 +663,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--config",
                          choices=["small", "medium", "large", "all"],
                          default="all")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr5.json",
-                         help="output JSON path (default: BENCH_pr5.json)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr6.json",
+                         help="output JSON path (default: BENCH_pr6.json)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="runs per config; the fastest is kept "
                               "(default: 3)")
@@ -607,8 +683,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the RPC round-trip microbench "
                               "with the fast path on and off and verify "
                               "the RPC counters match")
+    p_bench.add_argument("--progress", action="store_true",
+                         help="print a heartbeat line (shard i/N, "
+                              "sim-time, events/s) per completed "
+                              "--parallel shard")
     common(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_report = sub.add_parser(
+        "report", help="run (or load) a fault-injection campaign and "
+                       "render the campaign observatory report: "
+                       "availability, recovery-latency percentiles, "
+                       "tier hit rates, bench trajectory")
+    p_report.add_argument("--scenario",
+                          choices=sorted(ALL_SCENARIOS) + ["all"],
+                          default="all")
+    p_report.add_argument("--trials", type=int, default=1,
+                          help="trials per scenario (default: 1)")
+    p_report.add_argument("--agreement", choices=["voting", "oracle"],
+                          default="oracle")
+    p_report.add_argument("--parallel", type=int, default=2, metavar="N",
+                          help="worker processes for the campaign "
+                               "(default: 2)")
+    p_report.add_argument("--from-json", metavar="FILE", default=None,
+                          help="render a campaign payload saved with "
+                               "--save-campaign instead of running one")
+    p_report.add_argument("--save-campaign", metavar="FILE", default=None,
+                          help="also write the merged campaign payload "
+                               "as JSON (feedable back via --from-json)")
+    p_report.add_argument("--format", choices=["markdown", "json"],
+                          default="markdown")
+    p_report.add_argument("--out", metavar="FILE", default=None,
+                          help="write the report here instead of stdout")
+    p_report.add_argument("--bench-dir", metavar="DIR", default=".",
+                          help="directory holding the committed "
+                               "BENCH_pr*.json trajectory (default: .)")
+    p_report.add_argument("--check", action="store_true",
+                          help="exit 1 on missing latency percentiles, "
+                               "uncontained/failed trials, or a >30%% "
+                               "events/s regression between the two "
+                               "newest bench files")
+    p_report.add_argument("--progress", action="store_true",
+                          help="print a heartbeat line per completed "
+                               "campaign trial")
+    common(p_report)
+    p_report.set_defaults(fn=cmd_report)
     return parser
 
 

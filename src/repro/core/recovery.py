@@ -83,6 +83,9 @@ class RecoveryRecord:
     discarded_pages: int = 0
     files_lost: int = 0
     killed_processes: int = 0
+    #: processes still alive on surviving cells when the round completed
+    #: (the availability report's killed-vs-survived denominator)
+    surviving_processes: int = 0
     rebooted: bool = False
 
     @property
@@ -235,6 +238,13 @@ class RecoveryCoordinator:
             if procs:
                 yield sim.all_of(procs)
             record.recovery_done_ns = sim.now
+            for cell_id in survivors:
+                cell = self.registry.cell_object(cell_id)
+                if cell is None or not cell.alive:
+                    continue
+                record.surviving_processes += sum(
+                    1 for proc in cell.processes.values()
+                    if not proc.exited)
             outcome = "recovered"
             self.barriers.forget((round_id, 1))
             self.barriers.forget((round_id, 2))

@@ -177,6 +177,10 @@ class RpcSubsystem:
                                 self.metrics.histogram("latency_ns"))
         #: HIVE_RPC_FAST=0 restores the original (slow) dispatch path.
         self.fast_enabled = os.environ.get("HIVE_RPC_FAST", "1") != "0"
+        # Per-call dispatch-path attribution for the profiler; cached
+        # Counter objects so the hot path pays one attribute bump.
+        self._fast_path_c = self.metrics.counter("fast_path")
+        self._slow_path_c = self.metrics.counter("slow_path")
         self._handlers: Dict[str, tuple] = {}
         self._pending: Dict[int, _Pending] = {}
         self._pending_pool: list = []
@@ -260,6 +264,7 @@ class RpcSubsystem:
 
         sim = self.sim
         fast = self.fast_enabled and not oversize
+        (self._fast_path_c if fast else self._slow_path_c).value += 1
         if fast:
             pool = self._event_pool
             if pool:

@@ -154,7 +154,8 @@ class CoherenceController:
         "_firewall_check_ns", "_mem_latency_ns", "stats",
         "remote_write_hist", "batch_enabled", "_node_gen",
         "_lines_per_node", "_total_lines", "_owner_arr", "_sharer_bits",
-        "last_batch_completed",
+        "last_batch_completed", "tier_memo_hits", "tier_inline_batches",
+        "tier_vector_batches", "tier_scalar_batches",
     )
 
     def __init__(self, params: HardwareParams, memory: PhysicalMemory,
@@ -203,6 +204,14 @@ class CoherenceController:
         #: accesses completed by the most recent batch call before it
         #: returned or raised (drivers use it to account partial batches).
         self.last_batch_completed = 0
+        #: batch-tier attribution: which of the three HIVE_BATCH tiers
+        #: (memo replay / inlined sequential / vectorized) resolved each
+        #: batch, plus the HIVE_BATCH=0 scalar reference.  One increment
+        #: per batch, so always-on costs ~1/batch-length per access.
+        self.tier_memo_hits = 0
+        self.tier_inline_batches = 0
+        self.tier_vector_batches = 0
+        self.tier_scalar_batches = 0
 
     # -- helpers ------------------------------------------------------
 
@@ -421,6 +430,15 @@ class CoherenceController:
                                 f"directory entry")
         return problems
 
+    def tier_snapshot(self) -> Dict[str, int]:
+        """Batch-tier attribution counters (see obs/profile.py)."""
+        return {
+            "memo_hits": self.tier_memo_hits,
+            "inline_batches": self.tier_inline_batches,
+            "vector_batches": self.tier_vector_batches,
+            "scalar_batches": self.tier_scalar_batches,
+        }
+
     def prepare_batch(self, lines: Sequence[int],
                       ops: Sequence[int]) -> PreparedBatch:
         """Validate an access pattern once for repeated issue.
@@ -475,6 +493,7 @@ class CoherenceController:
                         fresh = False
                         break
             if fresh:
+                self.tier_memo_hits += 1
                 stats = self.stats
                 stats.read_hits += memo[3]
                 stats.write_hits += memo[4]
@@ -562,6 +581,7 @@ class CoherenceController:
                     latency, _all_hits, _rh, _wh = self._batch_inline(
                         cpu, arr_lines.tolist(), arr_ops.tolist())
                     return latency
+        self.tier_vector_batches += 1
         n_rh = int(read_hit.sum())
         n_wh = int(write_hit.sum())
         stats = self.stats
@@ -582,6 +602,7 @@ class CoherenceController:
     def _batch_seq(self, cpu: int, lines: Sequence[int],
                    ops: Sequence[int]) -> int:
         """Reference tier: the plain scalar loop (HIVE_BATCH=0 path)."""
+        self.tier_scalar_batches += 1
         read_f = self.read
         write_f = self.write
         line_size = self._line_size
@@ -618,6 +639,7 @@ class CoherenceController:
         faulty = self.memory._any_faults
         node_state = self.memory._node_state
         lines_per_node = self._lines_per_node
+        self.tier_inline_batches += 1
         n_rh = 0
         n_wh = 0
         latency = 0

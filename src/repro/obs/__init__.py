@@ -1,5 +1,11 @@
-"""Observability: the flight recorder, metric aggregation, exporters."""
+"""Observability: the flight recorder, metric aggregation, exporters,
+availability accounting, and hot-path tier profiling."""
 
+from repro.obs.availability import (
+    availability_from_dicts,
+    availability_report,
+    merge_availability,
+)
 from repro.obs.export import (
     render_fault_timeline,
     to_chrome_trace,
@@ -8,6 +14,7 @@ from repro.obs.export import (
     write_telemetry,
 )
 from repro.obs.metrics import render_snapshot, snapshot_system
+from repro.obs.profile import merge_tier_snapshots, tier_snapshot
 from repro.obs.recorder import (
     NULL_RECORDER,
     FlightRecorder,
@@ -24,9 +31,14 @@ __all__ = [
     "Span",
     "TelemetryEvent",
     "attach_flight_recorder",
+    "availability_from_dicts",
+    "availability_report",
+    "merge_availability",
+    "merge_tier_snapshots",
     "render_fault_timeline",
     "render_snapshot",
     "snapshot_system",
+    "tier_snapshot",
     "to_chrome_trace",
     "to_jsonl",
     "write_bench_summary",

@@ -122,6 +122,7 @@ def render_fault_timeline(recorder: FlightRecorder) -> str:
         return "\n".join(lines)
     lines.append(f"fault timeline — {len(rounds)} recovery "
                  f"round{'s' if len(rounds) != 1 else ''}")
+    consumed: set = set()
     for round_span in rounds:
         round_id = round_span.attrs.get("round")
         dead = round_span.attrs.get("dead", [])
@@ -129,17 +130,36 @@ def render_fault_timeline(recorder: FlightRecorder) -> str:
         lines.append(f"round {round_id}: dead={dead}  "
                      f"outcome={round_span.attrs.get('outcome', '?')}  "
                      f"reason: {round_span.attrs.get('reason', '?')}")
-        inject = None
-        for inj in injections:
-            if inj.time_ns <= round_span.start_ns:
-                inject = inj
+        # Every injection that belongs to this round: not yet attributed
+        # to an earlier round, at or before round start, and targeting
+        # one of the round's dead cells when any were confirmed — so
+        # correlated multi-cell failures handled by one recovery window
+        # are all listed, not just the last inject.  An injection with
+        # no resolvable cell matches any round.
+        round_injects = []
+        for idx, inj in enumerate(injections):
+            if idx in consumed or inj.time_ns > round_span.start_ns:
+                continue
+            if dead and inj.cell is not None and inj.cell not in dead:
+                continue
+            round_injects.append((idx, inj))
+        if dead:
+            for idx, _inj in round_injects:
+                consumed.add(idx)
+        elif round_injects:
+            # Voted-down/aborted rounds confirmed nobody dead, so there
+            # is no cell set to match on; show the latest candidate but
+            # leave it attributable to a later round.
+            round_injects = round_injects[-1:]
+        inject = round_injects[0][1] if round_injects else None
         prev_ns = None
         if inject is not None:
             prev_ns = inject.time_ns
+        for _idx, inj in round_injects:
             lines.append(
-                f"  inject           @ {_fmt_ms(inject.time_ns)}  "
-                f"{inject.attrs.get('kind', inject.name)} on cell "
-                f"{inject.cell} (trigger={inject.attrs.get('trigger', '-')})")
+                f"  inject           @ {_fmt_ms(inj.time_ns)}  "
+                f"{inj.attrs.get('kind', inj.name)} on cell "
+                f"{inj.cell} (trigger={inj.attrs.get('trigger', '-')})")
         first_hint = None
         for h in hints:
             if h.time_ns <= round_span.start_ns + 1:

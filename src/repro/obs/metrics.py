@@ -100,6 +100,7 @@ def snapshot_system(system) -> Dict[str, Any]:
                 "discarded_pages": r.discarded_pages,
                 "files_lost": r.files_lost,
                 "killed_processes": r.killed_processes,
+                "surviving_processes": r.surviving_processes,
                 "rebooted": r.rebooted,
             }
             for r in records

@@ -235,7 +235,8 @@ def attach_flight_recorder(system, recorder: Optional[FlightRecorder] = None,
                   dead=sorted(record.dead_cells),
                   discarded_pages=record.discarded_pages,
                   files_lost=record.files_lost,
-                  killed_processes=record.killed_processes)
+                  killed_processes=record.killed_processes,
+                  surviving_processes=record.surviving_processes)
 
     if coordinator is not None:
         coordinator.observers.append(on_recovery)

@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import heapq
 import os
+import time
 from collections import deque
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, Optional
 
 #: timer-wheel geometry: slots are ``2**_WHEEL_SHIFT`` ns wide and the
 #: wheel covers ``_WHEEL_SLOTS`` slots (~4.2 ms of near future with the
@@ -64,6 +65,78 @@ _NONE_ARGS = (None,)
 
 class SimulationError(Exception):
     """Raised for misuse of the engine (e.g. double-triggering an event)."""
+
+
+class EngineProfile:
+    """Dispatch-tier counts and per-subsystem wall-clock attribution.
+
+    Populated only by the profiled twins of the run loops (HIVE_PROFILE=1
+    or ``Simulator(profile=True)``); a simulator without profiling never
+    touches one, so the unprofiled hot loops pay nothing.
+
+    Tier counts map onto the three-tier queue: ``nowq_dispatches`` and
+    ``heap_dispatches`` count loop pops from the same-instant deque and
+    the binary heap, ``wheel_routed`` counts entries that parked in a
+    wheel slot before being dumped to the heap (a subset of the heap
+    dispatches), and ``inline_dispatches`` counts Timeout expiries that
+    short-circuited the loop entirely (the ``_expire`` fast path, which
+    bumps ``events_processed`` directly).
+
+    Wall attribution buckets the time spent inside each dispatched
+    callback by the owning process's subsystem — the first dot-component
+    of the process name with trailing digits stripped, so ``rpc0.srv2``
+    and ``rpc3.client`` both bucket under ``rpc``.
+    """
+
+    __slots__ = ("nowq_dispatches", "heap_dispatches", "wheel_routed",
+                 "inline_dispatches", "subsystem_wall_s", "_cat_cache")
+
+    def __init__(self):
+        self.nowq_dispatches = 0
+        self.heap_dispatches = 0
+        self.wheel_routed = 0
+        self.inline_dispatches = 0
+        self.subsystem_wall_s: Dict[str, float] = {}
+        self._cat_cache: Dict[str, str] = {}
+
+    def category(self, name: str) -> str:
+        cat = self._cat_cache.get(name)
+        if cat is None:
+            cat = name.split(".", 1)[0].rstrip("0123456789") or "anon"
+            self._cat_cache[name] = cat
+        return cat
+
+    def merge(self, other: "EngineProfile") -> None:
+        self.nowq_dispatches += other.nowq_dispatches
+        self.heap_dispatches += other.heap_dispatches
+        self.wheel_routed += other.wheel_routed
+        self.inline_dispatches += other.inline_dispatches
+        walls = self.subsystem_wall_s
+        for cat, secs in other.subsystem_wall_s.items():
+            walls[cat] = walls.get(cat, 0.0) + secs
+
+    def to_dict(self) -> Dict:
+        """JSON-safe state; wall figures are nondeterministic by nature
+        and must stay out of byte-identical report sections."""
+        return {
+            "nowq_dispatches": self.nowq_dispatches,
+            "heap_dispatches": self.heap_dispatches,
+            "wheel_routed": self.wheel_routed,
+            "inline_dispatches": self.inline_dispatches,
+            "subsystem_wall_s": {
+                cat: self.subsystem_wall_s[cat]
+                for cat in sorted(self.subsystem_wall_s)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EngineProfile":
+        prof = cls()
+        prof.nowq_dispatches = payload["nowq_dispatches"]
+        prof.heap_dispatches = payload["heap_dispatches"]
+        prof.wheel_routed = payload["wheel_routed"]
+        prof.inline_dispatches = payload["inline_dispatches"]
+        prof.subsystem_wall_s = dict(payload["subsystem_wall_s"])
+        return prof
 
 
 class Interrupted(Exception):
@@ -482,10 +555,12 @@ class Simulator:
     __slots__ = ("now", "_queue", "_seq", "_active_process",
                  "crash_on_process_error", "events_processed",
                  "trace_names", "_timeout_pool", "_wheel_on", "_nowq",
-                 "_wheel", "_wheel_count", "_wslot", "_wslots", "_dead")
+                 "_wheel", "_wheel_count", "_wslot", "_wslots", "_dead",
+                 "_prof")
 
     def __init__(self, crash_on_process_error: bool = True,
-                 wheel: Optional[bool] = None):
+                 wheel: Optional[bool] = None,
+                 profile: Optional[bool] = None):
         self.now: int = 0
         self._queue: list = []
         self._seq = 0
@@ -521,6 +596,18 @@ class Simulator:
         self._wslots: list = []
         # Cancelled entries still sitting in the queue tiers.
         self._dead = 0
+        if profile is None:
+            profile = os.environ.get("HIVE_PROFILE", "0") != "0"
+        #: dispatch profiling (HIVE_PROFILE=1).  When None the normal
+        #: run loops execute untouched; when set, run()/run_until_event()
+        #: divert to profiled twins, so disabled profiling costs one
+        #: attribute test per run call — not per event.
+        self._prof: Optional[EngineProfile] = (EngineProfile() if profile
+                                               else None)
+
+    @property
+    def profile(self) -> Optional[EngineProfile]:
+        return self._prof
 
     # -- scheduling ---------------------------------------------------
 
@@ -626,6 +713,8 @@ class Simulator:
 
     def run(self, until: Optional[int] = None, max_events: int = 200_000_000) -> None:
         """Process events until the queue drains or ``until`` is reached."""
+        if self._prof is not None:
+            return self._run_prof(until, max_events)
         if not self._wheel_on:
             return self._run_heap(until, max_events)
         processed = 0
@@ -738,6 +827,8 @@ class Simulator:
         which matters when perpetual background processes (clock ticks,
         monitors) would otherwise keep the queue busy to the deadline.
         """
+        if self._prof is not None:
+            return self._run_until_event_prof(event, deadline, max_events)
         if not self._wheel_on:
             return self._run_until_event_heap(event, deadline, max_events)
         processed = 0
@@ -811,6 +902,181 @@ class Simulator:
                 self.events_processed += processed
                 raise SimulationError("event budget exhausted; likely livelock")
         self.events_processed += processed
+        return event._triggered
+
+    # -- profiled dispatch (HIVE_PROFILE=1) ---------------------------
+
+    def _prof_category(self, fn: Callable) -> str:
+        """Subsystem bucket for a dispatched callback, resolved BEFORE
+        the call (a Timeout's waiter list is consumed by ``_expire``)."""
+        owner = getattr(fn, "__self__", None)
+        if type(owner) is Timeout:
+            cbs = owner._callbacks
+            if cbs:
+                waiter = getattr(cbs[0], "__self__", None)
+                if waiter is not None:
+                    return self._prof.category(waiter.name)
+            return "timer"
+        if owner is not None:
+            name = getattr(owner, "name", "")
+            if name:
+                return self._prof.category(name)
+        return "engine"
+
+    def _run_prof(self, until: Optional[int], max_events: int) -> None:
+        """Profiled twin of :meth:`run`.
+
+        With the wheel off, the nowq and wheel tiers are simply never
+        occupied and this loop degenerates to heap-only dispatch in the
+        same order as :meth:`_run_heap`, so one twin serves both modes.
+        Kept separate from the unprofiled loops so they pay nothing for
+        the instrumentation (a per-event guard would cost ~2% alone).
+        """
+        prof = self._prof
+        perf = time.perf_counter
+        walls = prof.subsystem_wall_s
+        category = self._prof_category
+        processed = 0
+        ep_start = self.events_processed
+        queue = self._queue
+        nowq = self._nowq
+        heappop = heapq.heappop
+        popleft = nowq.popleft
+        now = self.now
+        try:
+            while True:
+                if nowq:
+                    e0 = nowq[0]
+                    if queue and queue[0][0] == now and queue[0][1] < e0[1]:
+                        entry = heappop(queue)
+                    else:
+                        entry = popleft()
+                    fn = entry[2]
+                    if fn is None:
+                        continue
+                    cat = category(fn)
+                    t0 = perf()
+                    fn(*entry[3])
+                    walls[cat] = walls.get(cat, 0.0) + (perf() - t0)
+                    prof.nowq_dispatches += 1
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            "event budget exhausted; likely livelock")
+                    continue
+                if self._wheel_count:
+                    before = self._wheel_count
+                    self._advance_wheel()
+                    prof.wheel_routed += before - self._wheel_count
+                if not queue:
+                    break
+                entry = heappop(queue)
+                t = entry[0]
+                if until is not None and t > until:
+                    heapq.heappush(queue, entry)
+                    self.now = until
+                    before = self._wheel_count
+                    self._ff_wslot(until)
+                    prof.wheel_routed += before - self._wheel_count
+                    return
+                fn = entry[2]
+                if fn is None:
+                    continue
+                ts = t >> _WHEEL_SHIFT
+                if ts > self._wslot:
+                    self._wslot = ts
+                self.now = now = t
+                cat = category(fn)
+                t0 = perf()
+                fn(*entry[3])
+                walls[cat] = walls.get(cat, 0.0) + (perf() - t0)
+                prof.heap_dispatches += 1
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        "event budget exhausted; likely livelock")
+            if until is not None:
+                self.now = until
+                before = self._wheel_count
+                self._ff_wslot(until)
+                prof.wheel_routed += before - self._wheel_count
+        finally:
+            # During the loop only Timeout._expire's inline fast path
+            # touched events_processed; the delta is exactly the inline
+            # dispatch count.
+            prof.inline_dispatches += self.events_processed - ep_start
+            self.events_processed += processed
+
+    def _run_until_event_prof(self, event: "Event",
+                              deadline: Optional[int],
+                              max_events: int) -> bool:
+        """Profiled twin of :meth:`run_until_event` (both wheel modes)."""
+        prof = self._prof
+        perf = time.perf_counter
+        walls = prof.subsystem_wall_s
+        category = self._prof_category
+        processed = 0
+        ep_start = self.events_processed
+        queue = self._queue
+        nowq = self._nowq
+        heappop = heapq.heappop
+        popleft = nowq.popleft
+        now = self.now
+        try:
+            while not event._triggered:
+                if nowq:
+                    e0 = nowq[0]
+                    if queue and queue[0][0] == now and queue[0][1] < e0[1]:
+                        entry = heappop(queue)
+                    else:
+                        entry = popleft()
+                    fn = entry[2]
+                    if fn is None:
+                        continue
+                    cat = category(fn)
+                    t0 = perf()
+                    fn(*entry[3])
+                    walls[cat] = walls.get(cat, 0.0) + (perf() - t0)
+                    prof.nowq_dispatches += 1
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            "event budget exhausted; likely livelock")
+                    continue
+                if self._wheel_count:
+                    before = self._wheel_count
+                    self._advance_wheel()
+                    prof.wheel_routed += before - self._wheel_count
+                if not queue:
+                    break
+                entry = heappop(queue)
+                t = entry[0]
+                if deadline is not None and t > deadline:
+                    heapq.heappush(queue, entry)
+                    self.now = deadline
+                    before = self._wheel_count
+                    self._ff_wslot(deadline)
+                    prof.wheel_routed += before - self._wheel_count
+                    break
+                fn = entry[2]
+                if fn is None:
+                    continue
+                ts = t >> _WHEEL_SHIFT
+                if ts > self._wslot:
+                    self._wslot = ts
+                self.now = now = t
+                cat = category(fn)
+                t0 = perf()
+                fn(*entry[3])
+                walls[cat] = walls.get(cat, 0.0) + (perf() - t0)
+                prof.heap_dispatches += 1
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        "event budget exhausted; likely livelock")
+        finally:
+            prof.inline_dispatches += self.events_processed - ep_start
+            self.events_processed += processed
         return event._triggered
 
     def run_until_complete(self, proc: "Process", deadline: Optional[int] = None) -> Any:

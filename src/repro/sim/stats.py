@@ -37,6 +37,10 @@ class Counter:
     def reset(self) -> None:
         self.value = 0
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another shard's count into this one."""
+        self.value += other.value
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Counter {self.name}={self.value}>"
 
@@ -72,6 +76,24 @@ class Timer:
         self.total = 0
         self.min = None
         self.max = None
+
+    def merge(self, other) -> None:
+        """Fold another shard's timer into this one.
+
+        count/total add; min/max combine.  Merging preserves the
+        invariant that the merged timer equals one timer that recorded
+        both shards' durations (in any order).
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -192,11 +214,56 @@ class Histogram:
             "max": float(self.max or 0),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
         for bound, count in zip(self.bounds, self.counts):
             out[f"le_{bound}"] = count
         out["overflow"] = self.counts[-1]
         return out
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bounds into this one.
+
+        Bucket counts, sum, min, and max combine exactly, so every
+        quantity :meth:`snapshot` reports — including the bucket-
+        resolution percentiles — equals what a single histogram fed
+        both shards' value streams (in any order) would report.  That
+        equality is the campaign merger's golden-merge contract and is
+        asserted by a unit test, not assumed.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into "
+                f"{self.name!r}: bucket bounds differ")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
+
+    def to_dict(self) -> Dict:
+        """JSON-safe full state, for cross-process campaign shards."""
+        return {
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Histogram":
+        hist = cls(payload["name"], list(payload["bounds"]))
+        hist.counts = list(payload["counts"])
+        hist.sum = payload["sum"]
+        hist.min = payload["min"]
+        hist.max = payload["max"]
+        return hist
 
 
 class Sampler:
@@ -281,6 +348,36 @@ class MetricSet:
             h = Histogram(name, bounds)
             self.histograms[name] = h
         return h
+
+    def merge(self, other: "MetricSet") -> None:
+        """Fold another shard's metrics into this set, in place.
+
+        Counters and timers add; samplers concatenate their sample
+        lists; histograms merge bucket-wise (identical bounds
+        required).  TimerViews are skipped on both sides — they are
+        read views whose backing histogram is merged through the
+        ``histograms`` dict, so merging the view too would double
+        count.
+        """
+        for name, c in other.counters.items():
+            self.counter(name).merge(c)
+        for name, t in other.timers.items():
+            if isinstance(t, TimerView):
+                continue
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timer(name)
+            elif isinstance(mine, TimerView):
+                continue
+            mine.merge(t)
+        for name, s in other.samplers.items():
+            self.sampler(name).samples.extend(s.samples)
+        for name, h in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram.from_dict(h.to_dict())
+            else:
+                mine.merge(h)
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of all current metric values, for report printing."""

@@ -43,6 +43,36 @@ class TestParser:
         assert args.workload == "raytrace"
         assert args.cells == 2
 
+    def test_metrics_format_flag(self):
+        args = build_parser().parse_args(["metrics", "raytrace"])
+        assert args.format == "table"
+        args = build_parser().parse_args(
+            ["metrics", "raytrace", "--format", "json"])
+        assert args.format == "json"
+
+    def test_bench_defaults_to_pr6_out(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.out == "BENCH_pr6.json"
+        assert not args.progress
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.scenario == "all"
+        assert args.format == "markdown"
+        assert args.bench_dir == "."
+        assert not args.check
+        args = build_parser().parse_args(
+            ["report", "--scenario", "hw_random", "--check",
+             "--format", "json", "--parallel", "4"])
+        assert args.scenario == "hw_random"
+        assert args.check
+        assert args.parallel == 4
+
+    def test_campaign_progress_flag(self):
+        args = build_parser().parse_args(
+            ["inject", "all", "--campaign", "--progress"])
+        assert args.progress
+
     def test_telemetry_out_flag(self):
         args = build_parser().parse_args(
             ["run", "pmake", "--telemetry-out", "/tmp/t"])
@@ -117,3 +147,41 @@ class TestCommands:
         assert rc == 0
         assert "cell 0" in out
         assert "rpc" in out
+
+    def test_metrics_json_format_is_stable(self, capsys):
+        rc = main(["metrics", "raytrace", "--cells", "2", "--seed", "3",
+                   "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snap = json.loads(out)
+        assert "0" in snap["cells"]
+        # stable sorted key order for diffing
+        assert out == json.dumps(snap, sort_keys=True, indent=2) + "\n"
+
+    def test_report_command(self, tmp_path, capsys):
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        for name, eps in (("BENCH_pr1.json", 100.0),
+                          ("BENCH_pr2.json", 120.0)):
+            (bench_dir / name).write_text(json.dumps(
+                {"results": {"large": {"events_per_sec": eps}}}))
+        out_md = str(tmp_path / "report.md")
+        campaign = str(tmp_path / "campaign.json")
+        rc = main(["report", "--scenario", "hw_process_creation",
+                   "--trials", "1", "--parallel", "1", "--seed", "5",
+                   "--bench-dir", str(bench_dir), "--check",
+                   "--out", out_md, "--save-campaign", campaign])
+        assert rc == 0
+        with open(out_md) as fh:
+            text = fh.read()
+        assert "## Availability" in text
+        assert "| recovery round |" in text
+        assert "BENCH_pr2.json" in text
+        # the saved payload round-trips through --from-json
+        rc = main(["report", "--from-json", campaign, "--format", "json",
+                   "--bench-dir", str(bench_dir)])
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert report["availability"]["recovery_latency_ns"]["p99"] >= 0
+        assert report["regression"]["delta"] == pytest.approx(0.2)
+        assert rc == 0

@@ -124,6 +124,25 @@ class TestWheelVsHeapGolden:
         for key in DETERMINISTIC_ROW_KEYS:
             assert wheel[key] == heap[key], key
 
+    def test_throughput_small_profile_toggle(self, monkeypatch):
+        """HIVE_PROFILE=1 swaps in the profiled dispatch loops; the
+        simulation (and every deterministic tier counter) must be
+        unchanged, and the engine section must appear."""
+        from repro.bench.throughput import run_throughput
+
+        monkeypatch.delenv("HIVE_PROFILE", raising=False)
+        plain = run_throughput("small", seed=11)
+        monkeypatch.setenv("HIVE_PROFILE", "1")
+        profiled = run_throughput("small", seed=11)
+        for key in DETERMINISTIC_ROW_KEYS:
+            assert plain[key] == profiled[key], key
+        assert plain["tiers"]["engine"] is None
+        engine = profiled["tiers"]["engine"]
+        assert engine["dispatches_total"] == profiled["events"]
+        assert engine["subsystem_wall_s"]
+        assert plain["tiers"]["coherence"] == profiled["tiers"]["coherence"]
+        assert plain["tiers"]["rpc"] == profiled["tiers"]["rpc"]
+
     def test_rpc_bench_small_wheel_toggle(self):
         from repro.bench.rpcbench import (
             RPC_DETERMINISTIC_KEYS,
