@@ -37,6 +37,7 @@ from repro.bench.faultexp import (
 from repro.bench.throughput import BENCH_SCHEMA, CONFIGS, run_throughput
 from repro.obs.availability import merge_availability
 from repro.obs.profile import merge_tier_snapshots
+from repro.obs.provenance import merge_audits
 
 
 class CampaignError(RuntimeError):
@@ -250,13 +251,18 @@ def _inject_shard_worker(
     """
     scenario, seed, agreement, telemetry_dir = shard
     try:
-        from repro.obs import (attach_flight_recorder, availability_report,
+        from repro.obs import (attach_flight_recorder, attach_provenance,
+                               availability_report, maybe_attach_watchdog,
                                tier_snapshot)
 
         telemetry = {}
 
         def on_boot(system) -> None:
             telemetry["recorder"] = attach_flight_recorder(system)
+            # Provenance hooks are inert until a fault fires, so every
+            # campaign trial carries a containment audit for free.
+            telemetry["tracer"] = attach_provenance(system)
+            telemetry["watchdog"] = maybe_attach_watchdog(system)
             telemetry["system"] = system
 
         wall0 = time.perf_counter()
@@ -270,6 +276,9 @@ def _inject_shard_worker(
         if system is not None:
             out["availability"] = availability_report(recorder, system)
             out["tiers"] = tier_snapshot(system)
+            out["audit"] = telemetry["tracer"].audit_report()
+            if telemetry.get("watchdog") is not None:
+                out["watchdog"] = telemetry["watchdog"].report()
             out["heartbeat"] = {"sim_ms": system.sim.now / 1e6,
                                 "events": system.sim.events_processed,
                                 "wall_s": round(wall_s, 4)}
@@ -295,6 +304,9 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
     avail_labels: List[str] = []
     avail_reports: List[dict] = []
     tier_snaps: List[dict] = []
+    audit_labels: List[str] = []
+    audit_reports: List[dict] = []
+    watchdogs: Dict[str, dict] = {}
     for shard in shards:
         key = (shard["scenario"], shard["seed"])
         if key in seen:
@@ -315,6 +327,12 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
             avail_reports.append(shard["availability"])
         if shard.get("tiers"):
             tier_snaps.append(shard["tiers"])
+        if shard.get("audit"):
+            audit_labels.append(f"{shard['scenario']}-{shard['seed']}")
+            audit_reports.append(shard["audit"])
+        if shard.get("watchdog"):
+            watchdogs[f"{shard['scenario']}-{shard['seed']}"] = \
+                shard["watchdog"]
         if shard.get("telemetry_dir"):
             telemetry_dirs.append(shard["telemetry_dir"])
     for summary in summaries.values():
@@ -346,6 +364,10 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
             labels=[avail_labels[i] for i in order])
     if tier_snaps:
         payload["tiers"] = merge_tier_snapshots(tier_snaps)
+    if audit_reports:
+        payload["audit"] = merge_audits(audit_reports, audit_labels)
+    if watchdogs:
+        payload["watchdog"] = watchdogs
     if telemetry_dirs:
         payload["telemetry_dirs"] = sorted(telemetry_dirs)
     if failures:

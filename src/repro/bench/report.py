@@ -151,6 +151,23 @@ def regression_delta(trajectory: List[Dict[str, Any]],
             "delta": delta}
 
 
+def trajectory_gate_warning(trajectory: List[Dict[str, Any]],
+                            config: str = "large") -> Optional[str]:
+    """Why the regression gate cannot run, or None when it can.
+
+    ``repro report --check`` degrades gracefully on a fresh checkout
+    (zero or one committed ``BENCH_pr*.json``): the gate is skipped
+    with this warning rather than failing or crashing.
+    """
+    if regression_delta(trajectory, config) is not None:
+        return None
+    usable = len([r for r in trajectory_rows(trajectory, config)
+                  if isinstance(r["events_per_sec"], (int, float))
+                  and r["events_per_sec"] > 0])
+    return (f"regression gate skipped: {usable} usable BENCH_pr*.json "
+            f"file(s) report {config!r} events/s (need 2)")
+
+
 def _availability_lines(avail: Dict[str, Any]) -> List[str]:
     lines = ["## Availability", ""]
     lines.append("| cell | up (ms) | suspended (ms) | dead (ms) | "
@@ -240,6 +257,30 @@ def _scenario_lines(scenarios: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _audit_lines(audit: Dict[str, Any]) -> List[str]:
+    summary = audit.get("summary", {})
+    verdicts = summary.get("by_verdict", {})
+    lines = ["## Containment audit", ""]
+    lines.append(
+        f"- verdict: **{audit.get('verdict', '?')}** over "
+        f"{summary.get('trials', 0)} trial(s), "
+        f"{summary.get('faults', 0)} fault(s)")
+    lines.append(
+        f"- tainted interactions: {verdicts.get('blocked', 0)} blocked "
+        f"(near misses), {verdicts.get('discarded', 0)} discarded by "
+        f"recovery, {verdicts.get('absorbed', 0)} absorbed")
+    defenses = summary.get("by_defense", {})
+    if defenses:
+        parts = [f"{name} {defenses[name]}" for name in sorted(defenses)]
+        lines.append(f"- defenses that fired: {', '.join(parts)}")
+    breaches = sorted(label for label, report in
+                      audit.get("trials", {}).items()
+                      if report.get("verdict") == "breach")
+    if breaches:
+        lines.append(f"- **breached trials**: {', '.join(breaches)}")
+    return lines
+
+
 def _trajectory_lines(trajectory: List[Dict[str, Any]],
                       config: str = "large") -> List[str]:
     lines = [f"## Throughput trajectory ({config} config)", ""]
@@ -289,6 +330,10 @@ def render_campaign_report(payload: Dict[str, Any],
     if avail:
         lines += _availability_lines(avail)
         lines.append("")
+    audit = payload.get("audit")
+    if audit:
+        lines += _audit_lines(audit)
+        lines.append("")
     tiers = payload.get("tiers")
     if tiers:
         lines += _tiers_lines(tiers)
@@ -310,7 +355,8 @@ def campaign_report_json(payload: Dict[str, Any],
     """The same report as a JSON-safe dict (serialize with
     ``sort_keys=True`` for byte-stable output)."""
     out: Dict[str, Any] = {}
-    for key in ("scenarios", "availability", "tiers", "failures"):
+    for key in ("scenarios", "availability", "audit", "tiers",
+                "failures"):
         if payload.get(key):
             out[key] = payload[key]
     if trajectory is not None:
@@ -343,14 +389,26 @@ def check_campaign_report(payload: Dict[str, Any],
             problems.append("faults injected but no recovery rounds "
                             "recorded a latency")
     for failure in payload.get("failures", []):
-        problems.append(f"trial {failure['scenario']!r} seed "
-                        f"{failure['seed']} failed")
+        problems.append(f"trial {failure.get('scenario')!r} seed "
+                        f"{failure.get('seed')} failed")
     for name in sorted(payload.get("scenarios") or {}):
         row = payload["scenarios"][name]
-        if row["contained"] != row["trials"]:
+        # .get() so a hand-edited/legacy --from-json payload degrades
+        # to a report problem instead of a KeyError crash.
+        contained = row.get("contained", 0)
+        trials = row.get("trials", 0)
+        if contained != trials:
             problems.append(
-                f"{name}: only {row['contained']}/{row['trials']} "
-                f"trials contained")
+                f"{name}: only {contained}/{trials} trials contained")
+    audit = payload.get("audit")
+    if audit:
+        absorbed = (audit.get("summary", {}).get("by_verdict", {})
+                    .get("absorbed", 0))
+        if absorbed or audit.get("verdict") == "breach":
+            problems.append(
+                f"containment audit verdict "
+                f"{audit.get('verdict')!r}: {absorbed} tainted "
+                f"interaction(s) absorbed by healthy cells")
     if trajectory:
         reg = regression_delta(trajectory)
         if reg is not None and reg["delta"] < -threshold:

@@ -199,6 +199,7 @@ def cmd_report(args) -> int:
         check_campaign_report,
         load_bench_trajectory,
         render_campaign_report,
+        trajectory_gate_warning,
     )
 
     if args.from_json:
@@ -233,6 +234,11 @@ def cmd_report(args) -> int:
     else:
         sys.stdout.write(text)
     if args.check:
+        # Fewer than two committed bench files (fresh checkout, first
+        # PR) degrades to a warning — the other checks still gate.
+        skip = trajectory_gate_warning(trajectory)
+        if skip is not None:
+            print(f"WARNING: {skip}", file=sys.stderr)
         problems = check_campaign_report(payload, trajectory)
         for problem in problems:
             print(f"CHECK FAILED: {problem}", file=sys.stderr)
@@ -240,6 +246,51 @@ def cmd_report(args) -> int:
             return 1
         print("report check        : clean", file=sys.stderr)
     return 0
+
+
+def cmd_audit(args) -> int:
+    import json
+
+    from repro.bench.parallel import run_inject_campaign
+    from repro.obs import render_audit_markdown
+
+    scenarios = (list(ALL_SCENARIOS) if args.scenario == "all"
+                 else [args.scenario])
+    payload = run_inject_campaign(
+        scenarios, trials=args.trials, seed_base=args.seed,
+        workers=max(1, args.parallel), agreement=args.agreement,
+        progress=args.progress)
+    for failure in payload.get("failures", []):
+        print(f"FAILED trial {failure['scenario']!r} seed "
+              f"{failure['seed']}:\n{failure['error']}", file=sys.stderr)
+    audit = payload.get("audit")
+    if audit is None:
+        print("error: campaign produced no audit payload", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        text = json.dumps(audit, sort_keys=True, indent=2) + "\n"
+    else:
+        text = render_audit_markdown(audit)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"audit written       : {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    if args.trace_out:
+        from repro.obs.export import audit_to_chrome_trace
+
+        with open(args.trace_out, "w") as fh:
+            json.dump(audit_to_chrome_trace(audit), fh, sort_keys=True)
+            fh.write("\n")
+        print(f"trace written       : {args.trace_out}", file=sys.stderr)
+    summary = audit.get("summary", {})
+    absorbed = summary.get("by_verdict", {}).get("absorbed", 0)
+    print(f"containment audit   : {audit['verdict']} "
+          f"({summary.get('near_misses', 0)} near misses, "
+          f"{absorbed} absorbed)", file=sys.stderr)
+    breach = audit["verdict"] == "breach" or absorbed > 0
+    return 1 if breach or payload.get("failures") else 0
 
 
 def cmd_micro(args) -> int:
@@ -370,6 +421,23 @@ def _cmd_inject_campaign(args) -> int:
             if not trial.contained:
                 print(f"   NOT CONTAINED (seed {trial.seed}): "
                       f"{trial.notes}")
+    absorbed = 0
+    audit = payload.get("audit")
+    if audit is not None:
+        summary = audit.get("summary", {})
+        absorbed = summary.get("by_verdict", {}).get("absorbed", 0)
+        print(f"containment audit: {audit['verdict']} "
+              f"({summary.get('near_misses', 0)} near misses, "
+              f"{absorbed} absorbed)")
+        if args.audit_out:
+            from repro.obs import render_audit_markdown
+            with open(args.audit_out, "w") as fh:
+                fh.write(render_audit_markdown(audit))
+            print(f"   audit written to {args.audit_out}")
+    elif args.audit_out:
+        print("error: --audit-out requested but the campaign produced "
+              "no audit payload", file=sys.stderr)
+        return 1
     par = payload["parallel"]
     print(f"campaign: {par['shards']} trials on "
           f"{par['effective_workers']}/{par['workers']} workers "
@@ -385,7 +453,7 @@ def _cmd_inject_campaign(args) -> int:
                  "parallel": par}
         write_bench_summary(
             os.path.join(args.telemetry_out, "BENCH_pr2.json"), bench)
-    return 1 if failures or uncontained else 0
+    return 1 if failures or uncontained or absorbed else 0
 
 
 def cmd_bench(args) -> int:
@@ -653,9 +721,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print a heartbeat line (shard i/N, "
                                "sim-time, events/s) per completed "
                                "--campaign trial")
+    p_inject.add_argument("--audit-out", metavar="FILE", default=None,
+                          help="write the --campaign containment-audit "
+                               "markdown here; any absorbed taint also "
+                               "fails the run")
     common(p_inject)
     telemetry(p_inject)
     p_inject.set_defaults(fn=cmd_inject)
+
+    p_audit = sub.add_parser(
+        "audit", help="run fault-injection trials under the provenance "
+                      "tracer and render the containment audit: taint "
+                      "propagation DAG, near-miss ledger, per-trial "
+                      "blocked/discarded/absorbed verdicts")
+    p_audit.add_argument("scenario",
+                         choices=sorted(ALL_SCENARIOS) + ["all"])
+    p_audit.add_argument("--trials", type=int, default=1)
+    p_audit.add_argument("--agreement", choices=["voting", "oracle"],
+                         default="oracle")
+    p_audit.add_argument("--parallel", type=int, default=2, metavar="N",
+                         help="worker processes (default: 2); results "
+                              "are byte-identical at any worker count")
+    p_audit.add_argument("--format", choices=["markdown", "json"],
+                         default="markdown",
+                         help="json is byte-stable for golden files")
+    p_audit.add_argument("--out", metavar="FILE", default=None,
+                         help="write the audit here instead of stdout")
+    p_audit.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="also write the propagation DAG as a "
+                              "Chrome-trace (chrome://tracing) JSON file")
+    p_audit.add_argument("--progress", action="store_true",
+                         help="print a heartbeat line per completed trial")
+    common(p_audit)
+    p_audit.set_defaults(fn=cmd_audit)
 
     p_bench = sub.add_parser(
         "bench", help="measure simulator throughput (events/sec, "

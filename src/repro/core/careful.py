@@ -71,6 +71,12 @@ class CarefulReader:
         if remote_cell_id in self._active:
             self._active.remove(remote_cell_id)
         fault = CarefulReferenceFault(remote_cell_id, check, detail)
+        prov = self.cell.prov
+        if prov.enabled:
+            # A check that fires while a fault is live is a near-miss:
+            # the protocol blocked tainted state from being consumed.
+            prov.careful_blocked(remote_cell_id, self.cell.kernel_id,
+                                 check, detail)
         # A failed consistency check is a failure hint (Section 4.3).
         self.cell.failure_hint(remote_cell_id,
                                f"careful reference {check} check: {detail}")
@@ -102,6 +108,9 @@ class CarefulReader:
         self.reads += 1
         yield from self.careful_off()
         obs.end(span, outcome="ok")
+        prov = self.cell.prov
+        if prov.enabled:
+            prov.careful_ok(remote_cell_id, self.cell.kernel_id)
         return None
 
     def read_object(self, remote_cell_id: int, addr: int,
@@ -130,6 +139,9 @@ class CarefulReader:
             raise
         yield from self.careful_off()
         obs.end(span, outcome="ok")
+        prov = self.cell.prov
+        if prov.enabled:
+            prov.careful_ok(remote_cell_id, self.cell.kernel_id)
         return obj
 
     def _read_object_body(self, remote_cell_id: int, addr: int,

@@ -16,6 +16,7 @@ from repro.core.rpc import RpcSubsystem
 from repro.core.sharing import SharingMixin
 from repro.core.ssi import SsiMixin
 from repro.core.wildwrite import FirewallManager
+from repro.obs.provenance import NULL_PROVENANCE
 from repro.obs.recorder import OBS_RECOVERY
 from repro.sim.stats import MetricSet
 from repro.unix.address_space import ANON_REGION
@@ -51,6 +52,9 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
         self.careful = CarefulReader(self)
         self.detector = FailureDetector(self)
         self.firewall_mgr = FirewallManager(self)
+        #: fault-provenance tracer handle; ``attach_provenance`` swaps
+        #: in a live tracer (same discipline as ``obs``).
+        self.prov = NULL_PROVENANCE
         #: hints pushed by Wax (sanity-checked on use, Section 3.2)
         self.wax_hints: Dict[str, object] = {}
         #: anonymous logical pages lost to preemptive discard; faults on
@@ -191,9 +195,13 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
                 unmapped += 1
         # Drop every logical import: the binding must be re-established
         # through a checked RPC after recovery.
+        prov = self.prov
         for pf in list(self.pfdats.all_pfdats()):
             if pf.imported_from is not None:
                 borrowed_from = pf.borrowed_from
+                if prov.enabled:
+                    prov.import_dropped(self.kernel_id, pf.frame,
+                                        pf.imported_from)
                 pf.imported_from = None
                 if pf.extended and borrowed_from is None:
                     self.pfdats.release_extended(pf)
@@ -201,6 +209,9 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
                     self.pfdats.remove(pf)
                 unmapped += 1
         for pf in list(self.pfdats.reserved.values()):
+            if pf.imported_from is not None and prov.enabled:
+                prov.import_dropped(self.kernel_id, pf.frame,
+                                    pf.imported_from)
             pf.imported_from = None
         yield self.sim.timeout(self.costs.unmap_page_ns * unmapped)
         if phase is not None:
@@ -296,6 +307,9 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
     def _discard_page(self, pf, dead_cell: int, lost_files: Set[tuple],
                       invalidate: bool = True) -> int:
         """Discard one potentially-corrupt page."""
+        prov = self.prov
+        if prov.enabled:
+            prov.page_discarded(self.kernel_id, pf.frame, dead_cell)
         if invalidate:
             self.machine.coherence.invalidate_frame(pf.frame)
         logical_id = pf.logical_id
@@ -403,6 +417,9 @@ class Cell(SharingMixin, SsiMixin, LocalKernel):
                         reason = "mapped page was discarded"
                         break
             if reason:
+                if self.prov.enabled:
+                    self.prov.process_killed(self.kernel_id, proc.pid,
+                                             reason)
                 proc.post_signal(SIGKILL)
                 killed += 1
         return killed

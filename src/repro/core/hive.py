@@ -204,6 +204,9 @@ class HiveSystem:
         #: replaces the null default); subsystems without a cell handle
         #: (e.g. the kernel fault injector) emit through this.
         self.recorder = NULL_RECORDER
+        #: the attached fault-provenance tracer (``attach_provenance``
+        #: sets it); None when containment auditing is off.
+        self.provenance = None
 
     @property
     def cells(self) -> List[Cell]:

@@ -150,6 +150,10 @@ class KernelFaultInjector:
         if rec is not None and rec.enabled:
             rec.event("fault.corrupt", "fault", cell=record.cell_id,
                       site=record.site, mode=record.mode)
+        prov = getattr(self.system, "provenance", None)
+        if prov is not None and prov.enabled:
+            prov.fault_injected(record.cell_id, kind="corrupt",
+                                site=record.site, mode=record.mode)
 
     # -- wild writes ----------------------------------------------------------
 
@@ -158,6 +162,10 @@ class KernelFaultInjector:
         """The buggy kernel writes through garbage derived from the
         corrupt pointer.  The firewall decides what actually lands."""
         params = self.system.params
+        registry = self.system.registry
+        prov = getattr(self.system, "provenance", None)
+        if prov is not None and not prov.enabled:
+            prov = None
         cpu = cell.cpu_ids[0]
         addr = seed_addr
         for i in range(count):
@@ -165,13 +173,24 @@ class KernelFaultInjector:
             frame = addr // params.page_size
             offset = (addr % params.page_size) & ~7
             record.wild_writes_attempted += 1
+            if prov is not None:
+                try:
+                    home = registry.cell_of_node(params.node_of_frame(frame))
+                except KeyError:
+                    home = None
             try:
                 cell.machine.memory.write_bytes(
                     frame, offset, b"\xde\xad\xbe\xef\xfe\xed\xfa\xce",
                     cpu=cpu)
                 record.wild_writes_landed += 1
+                if prov is not None:
+                    prov.wild_write(cell.kernel_id, home, frame,
+                                    landed=True)
             except FirewallViolation:
                 record.wild_writes_blocked += 1
+                if prov is not None:
+                    prov.wild_write(cell.kernel_id, home, frame,
+                                    landed=False, defense="firewall")
                 # A firewall bus error during kernel execution panics the
                 # buggy cell — unless it strikes while the kernel is in a
                 # careful section, which wild writes never are.
@@ -179,5 +198,8 @@ class KernelFaultInjector:
                 return
             except BusError:
                 record.wild_writes_blocked += 1
+                if prov is not None:
+                    prov.wild_write(cell.kernel_id, home, frame,
+                                    landed=False, defense="bus_error")
                 cell.panic("bus error on wild write")
                 return

@@ -220,26 +220,42 @@ class RpcSubsystem:
         and re-raises handler errors as :class:`RpcRemoteError`.
         """
         obs = self.cell.obs
-        if not obs.enabled:
+        prov = self.cell.prov
+        # Client side of provenance: calls *into* a tainted cell.  The
+        # tainted cell's own outbound requests are classified by the
+        # healthy server's handler instead (no double counting).
+        track = prov.enabled and prov.is_tainted(dst_cell_id)
+        if not obs.enabled and not track:
             result = yield from self._call_inner(dst_cell_id, op, args,
                                                  arg_bytes, timeout_ns, 0)
             return result
-        span = obs.begin("rpc.call", "rpc", cell=self.cell.kernel_id,
-                         op=op, dst=dst_cell_id)
+        span = None
+        if obs.enabled:
+            span = obs.begin("rpc.call", "rpc", cell=self.cell.kernel_id,
+                             op=op, dst=dst_cell_id)
         try:
             result = yield from self._call_inner(dst_cell_id, op, args,
                                                  arg_bytes, timeout_ns,
-                                                 span.span_id)
+                                                 span.span_id
+                                                 if span is not None else 0)
         except RpcTimeout:
             obs.end(span, outcome="timeout")
+            if track:
+                prov.rpc_blocked(self.cell.kernel_id, dst_cell_id, op,
+                                 "rpc_timeout")
             raise
         except RpcRemoteError as exc:
             obs.end(span, outcome="remote_error", errno=exc.errno)
+            if track:
+                prov.rpc_blocked(self.cell.kernel_id, dst_cell_id, op,
+                                 f"rpc_sanity:{exc.errno}")
             raise
         except BaseException:
             obs.end(span, outcome="error")
             raise
         obs.end(span, outcome="ok")
+        if track:
+            prov.rpc_reply(self.cell.kernel_id, dst_cell_id, op)
         return result
 
     def _call_inner(self, dst_cell_id: int, op: str, args: Optional[dict],
@@ -540,14 +556,30 @@ class RpcSubsystem:
 
     def _run_handler(self, handler: Callable, payload: dict,
                      queued: bool = False) -> Generator:
+        # Server side of provenance: requests *from* a tainted cell
+        # (``rpc_served`` no-ops unless the source is tainted).  The
+        # payload dict is recycled by the reply path, so only scalars
+        # are read out of it here, never retained.
+        prov = self.cell.prov
         try:
             result = yield from handler(payload.get("src_cell"),
                                         payload.get("args") or {})
-            return result
         except RpcHandlerError as exc:
+            if prov.enabled:
+                prov.rpc_served(payload.get("src_cell"),
+                                self.cell.kernel_id, payload.get("op"),
+                                rejected=f"rpc_sanity:{exc.errno}")
             return RpcError(exc.errno, str(exc))
         except BusError as exc:
+            if prov.enabled:
+                prov.rpc_served(payload.get("src_cell"),
+                                self.cell.kernel_id, payload.get("op"),
+                                rejected="bus_error")
             return RpcError("EIO", f"bus error in handler: {exc}")
+        if prov.enabled:
+            prov.rpc_served(payload.get("src_cell"), self.cell.kernel_id,
+                            payload.get("op"))
+        return result
 
     def _reply(self, request_payload: dict, result: Any) -> None:
         if not self.cell.alive:

@@ -105,6 +105,9 @@ class SharingMixin:
             self.pfdats.insert(pf, logical_id)
         pf.imported_from = data_home
         self.sharing_metrics.counter("imports").add()
+        prov = self.prov
+        if prov.enabled:
+            prov.page_imported(self.kernel_id, data_home, frame)
         return pf
 
     def release_page(self, pf: Pfdat) -> None:
@@ -165,6 +168,10 @@ class SharingMixin:
         self.sharing_metrics.counter("exports").add()
         if is_writable:
             self.sharing_metrics.counter("exports_writable").add()
+        prov = self.prov
+        if prov.enabled:
+            prov.page_exported(self.kernel_id, client_cell, pf.frame,
+                               is_writable)
         if is_writable:
             yield from self.firewall_mgr.grant_write(pf, client_cell)
             # The client can now dirty the page without telling us:
@@ -982,6 +989,9 @@ class SharingMixin:
             frames.append(pf.frame)
         if frames:
             self.sharing_metrics.counter("frames_loaned").add(len(frames))
+            prov = self.prov
+            if prov.enabled:
+                prov.frames_loaned(self.kernel_id, src_cell, frames)
         return {"frames": frames}
 
     def return_borrowed_frame(self, pf: Pfdat) -> None:

@@ -75,6 +75,11 @@ class FirewallManager:
             obs.event("firewall.grant", "firewall",
                       cell=self.cell.kernel_id, frame=pf.frame,
                       grantee=client_cell)
+        prov = self.cell.prov
+        if prov.enabled:
+            # A write grant to a tainted cell exposes this frame; the
+            # preemptive discard must reclaim it.
+            prov.write_granted(self.cell.kernel_id, client_cell, pf.frame)
         return None
 
     def revoke_write(self, pf: Pfdat, client_cell: int) -> Generator:

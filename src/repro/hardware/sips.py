@@ -75,6 +75,10 @@ class SipsFabric:
         self.sends = 0
         self.sends_by_kind: Dict[str, int] = {REQUEST: 0, REPLY: 0}
         self.flow_control_rejections = 0
+        # Optional fault-provenance tracer (``attach_provenance`` sets
+        # it).  A plain None slot, not a null object: the hardware layer
+        # must not import the obs package.
+        self.prov = None
         for node in range(params.num_nodes):
             self._queues[(node, REQUEST)] = deque()
             self._queues[(node, REPLY)] = deque()
@@ -143,6 +147,9 @@ class SipsFabric:
         queue.append(msg)  # slot reserved immediately: hardware flow control
         self.sends += 1
         self.sends_by_kind[kind] += 1
+        prov = self.prov
+        if prov is not None:
+            prov.sips_sent(src_node, dst_node, kind)
         self.interconnect.messages_sent += 1
         self.sim.schedule(latency, self._deliver, msg)
         return msg

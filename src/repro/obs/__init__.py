@@ -7,6 +7,7 @@ from repro.obs.availability import (
     merge_availability,
 )
 from repro.obs.export import (
+    audit_to_chrome_trace,
     render_fault_timeline,
     to_chrome_trace,
     to_jsonl,
@@ -15,6 +16,14 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import render_snapshot, snapshot_system
 from repro.obs.profile import merge_tier_snapshots, tier_snapshot
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    NullProvenance,
+    ProvenanceTracer,
+    attach_provenance,
+    merge_audits,
+    render_audit_markdown,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     FlightRecorder,
@@ -23,24 +32,41 @@ from repro.obs.recorder import (
     TelemetryEvent,
     attach_flight_recorder,
 )
+from repro.obs.watchdog import (
+    InvariantWatchdog,
+    attach_watchdog,
+    maybe_attach_watchdog,
+    watchdog_enabled,
+)
 
 __all__ = [
+    "NULL_PROVENANCE",
     "NULL_RECORDER",
     "FlightRecorder",
+    "InvariantWatchdog",
+    "NullProvenance",
     "NullRecorder",
+    "ProvenanceTracer",
     "Span",
     "TelemetryEvent",
     "attach_flight_recorder",
+    "attach_provenance",
+    "attach_watchdog",
+    "audit_to_chrome_trace",
     "availability_from_dicts",
     "availability_report",
+    "maybe_attach_watchdog",
+    "merge_audits",
     "merge_availability",
     "merge_tier_snapshots",
+    "render_audit_markdown",
     "render_fault_timeline",
     "render_snapshot",
     "snapshot_system",
     "tier_snapshot",
     "to_chrome_trace",
     "to_jsonl",
+    "watchdog_enabled",
     "write_bench_summary",
     "write_telemetry",
 ]

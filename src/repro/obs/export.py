@@ -104,11 +104,40 @@ def _fmt_ms(ns: int) -> str:
     return f"{ns / 1e6:10.3f} ms"
 
 
+#: near-miss lines shown per recovery round before eliding the rest
+_TIMELINE_NEAR_MISS_CAP = 6
+
+
+def _near_miss_lines(events: List) -> List[str]:
+    """Render blocked-taint events, eliding beyond the per-round cap."""
+    lines = []
+    for ev in events[:_TIMELINE_NEAR_MISS_CAP]:
+        frame = ev.attrs.get("frame")
+        where = f" frame {frame}" if frame is not None else ""
+        lines.append(
+            f"  near miss        @ {_fmt_ms(ev.time_ns)}  "
+            f"{ev.attrs.get('channel')}:{ev.attrs.get('kind')} "
+            f"cell {ev.attrs.get('src')} -> cell {ev.cell}{where} "
+            f"blocked by {ev.attrs.get('defense')}")
+    if len(events) > _TIMELINE_NEAR_MISS_CAP:
+        lines.append(f"  (+{len(events) - _TIMELINE_NEAR_MISS_CAP} "
+                     f"more near misses)")
+    return lines
+
+
 def render_fault_timeline(recorder: FlightRecorder) -> str:
-    """Reconstruct each recovery round as a phase-by-phase timeline."""
+    """Reconstruct each recovery round as a phase-by-phase timeline.
+
+    Blocked-taint (near-miss) events from the provenance tracer are
+    interleaved with the inject and recovery entries of the round they
+    occurred in, so the view shows which defenses fired on the way to
+    containment.
+    """
     injections = [e for e in recorder.events
                   if e.name in ("fault.inject", "fault.corrupt")]
     hints = recorder.events_named("detect.hint")
+    near_misses = sorted(recorder.events_named("taint.blocked"),
+                         key=lambda e: e.time_ns)
     rounds = sorted(recorder.spans_named("recovery.round"),
                     key=lambda s: s.start_ns)
     lines: List[str] = []
@@ -119,11 +148,13 @@ def render_fault_timeline(recorder: FlightRecorder) -> str:
                          f"{inj.attrs.get('kind', inj.name)} "
                          f"(cell {inj.cell}, "
                          f"trigger={inj.attrs.get('trigger', '-')})")
+        lines.extend(_near_miss_lines(near_misses))
         return "\n".join(lines)
     lines.append(f"fault timeline — {len(rounds)} recovery "
                  f"round{'s' if len(rounds) != 1 else ''}")
     consumed: set = set()
-    for round_span in rounds:
+    nm_idx = 0
+    for round_num, round_span in enumerate(rounds):
         round_id = round_span.attrs.get("round")
         dead = round_span.attrs.get("dead", [])
         lines.append("")
@@ -160,6 +191,19 @@ def render_fault_timeline(recorder: FlightRecorder) -> str:
                 f"  inject           @ {_fmt_ms(inj.time_ns)}  "
                 f"{inj.attrs.get('kind', inj.name)} on cell "
                 f"{inj.cell} (trigger={inj.attrs.get('trigger', '-')})")
+        # Near misses up to this round's end (everything left, for the
+        # last round — blocks can land after recovery.done).
+        round_end = round_span.end_ns
+        last_round = round_num == len(rounds) - 1
+        nm_here = []
+        while nm_idx < len(near_misses):
+            ev = near_misses[nm_idx]
+            if (not last_round and round_end is not None
+                    and ev.time_ns > round_end):
+                break
+            nm_here.append(ev)
+            nm_idx += 1
+        lines.extend(_near_miss_lines(nm_here))
         first_hint = None
         for h in hints:
             if h.time_ns <= round_span.start_ns + 1:
@@ -225,6 +269,61 @@ def render_fault_timeline(recorder: FlightRecorder) -> str:
                     f"  total (inject → recovery done): "
                     f"{(done_ns - inject.time_ns) / 1e6:.3f} ms")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# containment-audit chrome trace
+# ---------------------------------------------------------------------------
+
+def audit_to_chrome_trace(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Render a containment audit as Chrome ``trace_event`` JSON.
+
+    Accepts either a merged audit (``{"trials": {label: report}}``, the
+    shape ``repro audit`` produces) or a single per-trial report from
+    :meth:`ProvenanceTracer.audit_report`.  Each trial becomes one
+    ``pid`` row; fault injections render as instant events and every
+    propagation-DAG edge as a complete span covering its
+    ``first_ns``..``last_ns`` window, with the verdict, defense, and
+    interaction count in ``args``.
+    """
+    trials = payload.get("trials")
+    if trials is None:
+        trials = {"trial": payload}
+    events: List[Dict[str, Any]] = []
+    metadata: List[Dict[str, Any]] = []
+    for pid, label in enumerate(sorted(trials)):
+        report = trials[label]
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"{label} [{report.get('verdict', '?')}]"},
+        })
+        for fault in report.get("faults", []):
+            events.append({
+                "name": f"fault {fault['taint']} -> cell {fault['cell']}",
+                "cat": "taint",
+                "ph": "i",
+                "s": "p",
+                "ts": fault["time_ns"] / 1000.0,
+                "pid": pid,
+                "tid": "fault",
+                "args": {k: v for k, v in fault.items()
+                         if k != "time_ns"},
+            })
+        for edge in report.get("dag", {}).get("edges", []):
+            first = edge.get("first_ns", 0)
+            last = edge.get("last_ns", first)
+            events.append({
+                "name": f"{edge['src']} -> {edge['dst']} "
+                        f"[{edge['verdict']}]",
+                "cat": edge.get("channel", "taint"),
+                "ph": "X",
+                "ts": first / 1000.0,
+                "dur": max(last - first, 0) / 1000.0,
+                "pid": pid,
+                "tid": edge.get("channel", "taint"),
+                "args": dict(edge),
+            })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
 # ---------------------------------------------------------------------------

@@ -224,6 +224,16 @@ class PfdatTable:
         """How many regular pfdats have any remote write grantee."""
         return len(self._exported)
 
+    def imported_from_cell(self, cell_id: int) -> List[Pfdat]:
+        """Materialized pfdats whose data home is ``cell_id``, in boot
+        order.  Used by the provenance exposure snapshot (once per
+        injected fault) and cheap because only touched frames are
+        materialized."""
+        return sorted(
+            (pf for pf in self._by_frame.values()
+             if pf.imported_from == cell_id),
+            key=lambda pf: pf.seq)
+
     # -- hash table -------------------------------------------------------
 
     def lookup(self, logical_id: LogicalId) -> Optional[Pfdat]:

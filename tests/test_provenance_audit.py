@@ -1,0 +1,155 @@
+"""Fault-provenance tracer and containment-audit golden tests.
+
+Three contracts: (1) the audit is deterministic — a same-seed trial
+produces a byte-identical ``sort_keys`` JSON report; (2) the campaign
+merge is lossless — the per-trial report inside a merged campaign
+payload equals the report a direct single-process run produces; (3) on
+the Table 7.4 fault classes every tainted interaction ends blocked or
+discarded — zero absorbed — and attaching the tracer never perturbs
+the simulation.
+"""
+
+import json
+
+from repro.bench.faultexp import (
+    HW_DURING_PROCESS_CREATION,
+    SW_COW_TREE,
+    FaultExperimentRunner,
+)
+from repro.obs import (
+    attach_flight_recorder,
+    attach_provenance,
+    audit_to_chrome_trace,
+    merge_audits,
+    render_audit_markdown,
+)
+
+#: (scenario, seed) -> (trial_dict, audit_report, events_processed);
+#: trials are seconds-long, so each is simulated once per test session.
+_CACHE = {}
+
+
+def _run_audited(scenario, seed, with_recorder=False):
+    captured = {}
+
+    def on_boot(system):
+        if with_recorder:
+            attach_flight_recorder(system)
+        captured["tracer"] = attach_provenance(system)
+        captured["system"] = system
+
+    runner = FaultExperimentRunner(on_boot=on_boot)
+    trial = runner.run_trial(scenario, seed)
+    return (trial.to_dict(), captured["tracer"].audit_report(),
+            captured["system"].sim.events_processed)
+
+
+def _audited(scenario, seed):
+    key = (scenario, seed)
+    if key not in _CACHE:
+        _CACHE[key] = _run_audited(scenario, seed)
+    return _CACHE[key]
+
+
+def _dumps(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestAuditDeterminism:
+    def test_same_seed_byte_identical(self):
+        _trial, first, _events = _audited(HW_DURING_PROCESS_CREATION, 5)
+        _trial2, second, _events2 = _run_audited(
+            HW_DURING_PROCESS_CREATION, 5)
+        assert first["faults"], "no fault recorded"
+        assert _dumps(first) == _dumps(second)
+
+    def test_campaign_merge_equals_serial(self):
+        from repro.bench.parallel import run_inject_campaign
+
+        payload = run_inject_campaign([HW_DURING_PROCESS_CREATION],
+                                      trials=1, seed_base=5, workers=1)
+        merged = payload["audit"]
+        label = f"{HW_DURING_PROCESS_CREATION}-5"
+        assert sorted(merged["trials"]) == [label]
+        # The campaign worker also attaches a flight recorder; recorder
+        # presence must not leak into the audit payload.
+        _trial, direct, _events = _audited(HW_DURING_PROCESS_CREATION, 5)
+        assert _dumps(merged["trials"][label]) == _dumps(direct)
+        assert _dumps(merged) == _dumps(merge_audits([direct], [label]))
+
+    def test_recorder_does_not_perturb_audit(self):
+        _trial, bare, _events = _audited(HW_DURING_PROCESS_CREATION, 5)
+        _trial2, recorded, _ev = _run_audited(
+            HW_DURING_PROCESS_CREATION, 5, with_recorder=True)
+        assert _dumps(bare) == _dumps(recorded)
+
+
+class TestContainmentVerdicts:
+    def test_hw_fault_contained_zero_absorbed(self):
+        trial, audit, _events = _audited(HW_DURING_PROCESS_CREATION, 5)
+        assert trial["contained"]
+        assert audit["verdict"] == "contained"
+        verdicts = audit["summary"]["by_verdict"]
+        assert verdicts.get("absorbed", 0) == 0
+        assert len(audit["faults"]) == 1
+        assert audit["faults"][0]["cell"] == 3
+
+    def test_sw_fault_contained_with_near_misses(self):
+        trial, audit, _events = _audited(SW_COW_TREE, 1)
+        assert trial["contained"]
+        assert audit["verdict"] == "contained"
+        verdicts = audit["summary"]["by_verdict"]
+        assert verdicts.get("absorbed", 0) == 0
+        # The corrupted pointer trips careful-reference checks before
+        # recovery fires: near misses with a named defense.
+        assert audit["summary"]["near_misses"] >= 1
+        assert audit["summary"]["by_defense"]
+        # Recovery discards show up as discarded taint, and the DAG
+        # roots every flow at the fault node.
+        edges = audit["dag"]["edges"]
+        assert any(e["channel"] == "inject" and e["src"] == "fault:t0"
+                   for e in edges)
+        assert all(e["verdict"] != "absorbed" for e in edges)
+
+    def test_tracer_attach_is_invisible(self):
+        captured = {}
+
+        def on_boot(system):
+            captured["system"] = system
+
+        runner = FaultExperimentRunner(on_boot=on_boot)
+        trial = runner.run_trial(HW_DURING_PROCESS_CREATION, seed=5)
+        plain = (trial.to_dict(),
+                 captured["system"].sim.events_processed)
+        audited_trial, _audit, events = _audited(
+            HW_DURING_PROCESS_CREATION, 5)
+        assert plain[0] == audited_trial
+        assert plain[1] == events
+
+
+class TestAuditRendering:
+    def test_markdown_render(self):
+        _trial, report, _events = _audited(HW_DURING_PROCESS_CREATION, 5)
+        label = f"{HW_DURING_PROCESS_CREATION}-5"
+        text = render_audit_markdown(merge_audits([report], [label]))
+        assert "# Containment audit" in text
+        assert "**contained**" in text
+        assert label in text
+        assert "fault:t0" in text
+
+    def test_chrome_trace_shapes(self):
+        _trial, report, _events = _audited(HW_DURING_PROCESS_CREATION, 5)
+        label = f"{HW_DURING_PROCESS_CREATION}-5"
+        merged = merge_audits([report], [label])
+        trace = audit_to_chrome_trace(merged)
+        events = trace["traceEvents"]
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert names == [f"{label} [contained]"]
+        assert any(e["ph"] == "i" and e["cat"] == "taint"
+                   for e in events)
+        assert any(e["ph"] == "X" for e in events)
+        # Single-report payloads work too (one implicit trial row).
+        single = audit_to_chrome_trace(report)
+        assert any(e["ph"] == "X" for e in single["traceEvents"])
+        # Byte-stable for golden files.
+        assert _dumps(trace) == _dumps(audit_to_chrome_trace(merged))
