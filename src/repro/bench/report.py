@@ -130,37 +130,91 @@ def trajectory_rows(trajectory: List[Dict[str, Any]],
         single = (entry["payload"].get("single_process") or {}).get(config)
         if isinstance(single, dict):
             eps = single.get("events_per_sec", eps)
+        cal = (entry["payload"].get("calibration") or {}).get("score")
+        if not (isinstance(cal, (int, float)) and cal > 0):
+            cal = None
         rows.append({"pr": entry["pr"], "file": entry["file"],
-                     "events_per_sec": eps})
+                     "events_per_sec": eps, "calibration": cal})
     return rows
+
+
+def trajectory_gaps(trajectory: List[Dict[str, Any]]) -> List[int]:
+    """PR numbers missing from the committed bench trajectory.
+
+    A PR that lands without a ``BENCH_pr<N>.json`` (docs-only, or a
+    bench-neutral change) leaves a hole; the report annotates it so a
+    delta between non-adjacent files is never mistaken for a
+    single-PR change.
+    """
+    present = sorted({e["pr"] for e in trajectory})
+    if len(present) < 2:
+        return []
+    return [pr for pr in range(present[0] + 1, present[-1])
+            if pr not in present]
 
 
 def regression_delta(trajectory: List[Dict[str, Any]],
                      config: str = "large") -> Optional[Dict[str, Any]]:
     """Fractional events/s change between the two newest bench files
-    that report the config; None when fewer than two do."""
+    that report the config; None when fewer than two do.
+
+    Each file was written by whatever machine ran that PR, so a raw
+    events/s ratio conflates code speed with host speed.  When both
+    files carry the host-calibration anchor (``machine_calibration`` in
+    :mod:`repro.bench.throughput`), ``delta`` is computed on the
+    calibration-normalized rates (host term cancelled) and
+    ``calibrated`` is True; otherwise ``delta`` is the raw ratio and
+    ``calibrated`` is False — the gate then cannot distinguish a slower
+    host from slower code and should not hard-fail.  ``raw_delta`` is
+    always the unnormalized ratio.
+
+    ``adjacent`` is False when PRs are missing between the two files
+    compared (the delta then spans more than one PR of work).
+    """
     rows = [r for r in trajectory_rows(trajectory, config)
             if isinstance(r["events_per_sec"], (int, float))
             and r["events_per_sec"] > 0]
     if len(rows) < 2:
         return None
     prev, cur = rows[-2], rows[-1]
-    delta = ((cur["events_per_sec"] - prev["events_per_sec"])
-             / prev["events_per_sec"])
+    raw = ((cur["events_per_sec"] - prev["events_per_sec"])
+           / prev["events_per_sec"])
+    calibrated = (prev["calibration"] is not None
+                  and cur["calibration"] is not None)
+    if calibrated:
+        prev_norm = prev["events_per_sec"] / prev["calibration"]
+        cur_norm = cur["events_per_sec"] / cur["calibration"]
+        delta = (cur_norm - prev_norm) / prev_norm
+    else:
+        delta = raw
+    # The two newest usable files are adjacent in the usable list, so
+    # every PR number strictly between them has no usable bench data.
+    missing = list(range(prev["pr"] + 1, cur["pr"]))
     return {"config": config, "baseline": prev, "current": cur,
-            "delta": delta}
+            "delta": delta, "raw_delta": raw, "calibrated": calibrated,
+            "adjacent": not missing, "missing_prs": missing}
 
 
 def trajectory_gate_warning(trajectory: List[Dict[str, Any]],
                             config: str = "large") -> Optional[str]:
     """Why the regression gate cannot run, or None when it can.
 
-    ``repro report --check`` degrades gracefully on a fresh checkout
-    (zero or one committed ``BENCH_pr*.json``): the gate is skipped
-    with this warning rather than failing or crashing.
+    ``repro report --check`` degrades gracefully in two situations:
+    a fresh checkout (zero or one committed ``BENCH_pr*.json``), and a
+    comparison where either file predates the host-calibration anchor
+    (raw events/s across different machines are not comparable).  The
+    gate is skipped with this warning rather than failing or crashing.
     """
-    if regression_delta(trajectory, config) is not None:
-        return None
+    reg = regression_delta(trajectory, config)
+    if reg is not None:
+        if reg["calibrated"]:
+            return None
+        uncal = [r["file"] for r in (reg["baseline"], reg["current"])
+                 if r["calibration"] is None]
+        return (f"regression gate skipped: no host-calibration anchor "
+                f"in {', '.join(uncal)} — raw events/s across "
+                f"different machines are not comparable (raw delta "
+                f"{reg['raw_delta'] * 100:+.1f}%)")
     usable = len([r for r in trajectory_rows(trajectory, config)
                   if isinstance(r["events_per_sec"], (int, float))
                   and r["events_per_sec"] > 0])
@@ -301,15 +355,35 @@ def _trajectory_lines(trajectory: List[Dict[str, Any]],
             delta = f"{(eps - prev) / prev * 100:+.1f}%"
         lines.append(f"| {row['file']} | {eps:,.0f} | {delta} |")
         prev = eps
+    gaps = trajectory_gaps(trajectory)
+    if gaps:
+        lines.append("")
+        lines.append(
+            "Trajectory gaps: no bench file for PR(s) "
+            f"{', '.join(str(pr) for pr in gaps)} — deltas spanning a "
+            "gap cover more than one PR of work.")
     reg = regression_delta(trajectory, config)
     if reg is not None:
         lines.append("")
-        verdict = ("REGRESSION" if reg["delta"] < -REGRESSION_THRESHOLD
-                   else "ok")
-        lines.append(
-            f"Latest vs previous: {reg['delta'] * 100:+.1f}% "
-            f"({reg['baseline']['file']} -> {reg['current']['file']}): "
-            f"{verdict} (threshold -{REGRESSION_THRESHOLD * 100:.0f}%).")
+        span = ("" if reg["adjacent"] else
+                f", spanning missing PR(s) "
+                f"{', '.join(str(pr) for pr in reg['missing_prs'])}")
+        if reg["calibrated"]:
+            verdict = ("REGRESSION"
+                       if reg["delta"] < -REGRESSION_THRESHOLD else "ok")
+            lines.append(
+                f"Latest vs previous: {reg['delta'] * 100:+.1f}% "
+                f"host-normalized (raw {reg['raw_delta'] * 100:+.1f}%) "
+                f"({reg['baseline']['file']} -> {reg['current']['file']}"
+                f"{span}): {verdict} "
+                f"(threshold -{REGRESSION_THRESHOLD * 100:.0f}%).")
+        else:
+            lines.append(
+                f"Latest vs previous: raw {reg['raw_delta'] * 100:+.1f}% "
+                f"({reg['baseline']['file']} -> {reg['current']['file']}"
+                f"{span}): UNVERIFIABLE — not both files carry the "
+                f"host-calibration anchor, so host speed cannot be "
+                f"cancelled; the regression gate is skipped.")
     return lines
 
 
@@ -361,6 +435,7 @@ def campaign_report_json(payload: Dict[str, Any],
             out[key] = payload[key]
     if trajectory is not None:
         out["trajectory"] = trajectory_rows(trajectory)
+        out["trajectory_gaps"] = trajectory_gaps(trajectory)
         reg = regression_delta(trajectory)
         if reg is not None:
             out["regression"] = reg
@@ -411,9 +486,15 @@ def check_campaign_report(payload: Dict[str, Any],
                 f"interaction(s) absorbed by healthy cells")
     if trajectory:
         reg = regression_delta(trajectory)
-        if reg is not None and reg["delta"] < -threshold:
+        # An uncalibrated comparison (either file predates the host-
+        # calibration anchor) cannot tell a slower host from slower
+        # code, so it warns (trajectory_gate_warning) instead of
+        # failing here.
+        if (reg is not None and reg["calibrated"]
+                and reg["delta"] < -threshold):
             problems.append(
-                f"events/s regression {reg['delta'] * 100:+.1f}% from "
-                f"{reg['baseline']['file']} to {reg['current']['file']} "
+                f"events/s regression {reg['delta'] * 100:+.1f}% "
+                f"(host-normalized) from {reg['baseline']['file']} to "
+                f"{reg['current']['file']} "
                 f"(threshold -{threshold * 100:.0f}%)")
     return problems

@@ -126,13 +126,20 @@ def run_rpc_bench(config: str, seed: int = 1995,
                                      name=f"rpcbench{c}.{k}"))
             total_calls += cfg.calls_per_client
     done = sim.all_of(procs)
+    # Bench deadline: every round trip crosses a cell boundary at least
+    # twice, so no call can finish faster than twice the minimum
+    # intercell latency — derive the give-up horizon from that hardware
+    # floor instead of an ad-hoc constant.  1000x floor per call is far
+    # beyond any real schedule (observed means are ~100x the floor).
+    latency_floor_ns = 2 * params.min_intercell_latency_ns()
+    deadline_ns = total_calls * latency_floor_ns * 1000
     # As in the throughput bench: cyclic GC cannot affect simulated
     # counters, so keep it out of the measured window.
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
         wall0 = time.perf_counter()
-        sim.run_until_event(done, deadline=sim.now + 600_000_000_000)
+        sim.run_until_event(done, deadline=sim.now + deadline_ns)
         wall = time.perf_counter() - wall0
     finally:
         if gc_was_enabled:
@@ -171,6 +178,14 @@ def run_rpc_bench(config: str, seed: int = 1995,
     row["latency_total_ns"] = latency_total
     row["mean_latency_ns"] = (round(latency_total / latency_n, 1)
                               if latency_n else 0.0)
+    row["latency_floor_ns"] = latency_floor_ns
+    if latency_n and row["mean_latency_ns"] < latency_floor_ns:
+        # A round trip beat the hardware: the RPC path (or a params
+        # change) broke the latency model.
+        raise RuntimeError(
+            f"rpc bench {config!r}: mean latency "
+            f"{row['mean_latency_ns']}ns under the intercell hardware "
+            f"floor {latency_floor_ns}ns")
     return row
 
 

@@ -40,9 +40,21 @@ from repro.hardware.faults import FaultInjector
 from repro.hardware.machine import MachineConfig
 from repro.hardware.params import NS_PER_MS, HardwareParams
 from repro.obs.profile import tier_snapshot
+from repro.sim.channels import attach_channels
 from repro.sim.engine import Simulator
+from repro.sim.shard import ShardEngine, plan_shards, shards_from_env
 
 BENCH_SCHEMA = "hive-throughput/v1"
+
+#: simulated counters that must match byte-for-byte between a sharded
+#: run and the sequential engine (the HIVE_SHARDS determinism contract).
+#: ``tiers`` covers the per-tier coherence attribution (hits, misses,
+#: memo replays) and ``channels`` the intercell channel fingerprint.
+SHARD_EQUIV_KEYS = (
+    "events", "accesses", "driver_accesses", "discarded_pages",
+    "writable_page_samples", "samples", "recovery_detected", "sim_ms",
+    "tiers", "channels",
+)
 
 
 @dataclass(frozen=True)
@@ -97,9 +109,18 @@ def _exporter(sim: Simulator, cell, client_cell: int, nframes: int,
 
 
 def _traffic(sim: Simulator, system: HiveSystem, cell_id: int, cpu: int,
-             ready, cfg: ThroughputConfig, stop_ns: int, counters: dict):
+             ready, cfg: ThroughputConfig, stop_ns: int, counters: dict,
+             lane=None):
     """Issue real coherence reads/ownership requests against the frames
-    the neighbour granted.  Stops when its cell dies or loses access."""
+    the neighbour granted.  Stops when its cell dies or loses access.
+
+    Under the sharded engine (``lane`` set) the driver registers itself
+    as a shard chain: wakeups whose accesses are provably memo replays
+    collapse into one park (``ShardedChain.credit``), and even real
+    accesses park through the chain so the coordinator owns the clock.
+    The sequential path (``lane is None``) is byte-for-byte the code
+    that ran before sharding existed.
+    """
     frames = yield ready
     machine = system.machine
     coh = machine.coherence
@@ -138,10 +159,19 @@ def _traffic(sim: Simulator, system: HiveSystem, cell_id: int, cpu: int,
                     for k in range(ops)]
         op_list = [(base + 2 * k) & 1 for k in range(ops)]
         cycle.append(coh.prepare_batch(line_ids, op_list))
+    chain = (lane.register_chain(coh, cpu, cycle, gap)
+             if lane is not None else None)
     j = 0
     while sim.now < stop_ns:
         if cell_id in dead_cells or not cell_obj.alive:
             return None
+        if chain is not None:
+            k, sleep_ns, j2 = chain.credit(j, stop_ns)
+            if k:
+                counters["accesses"] += ops * k
+                j = j2
+                yield chain.park(sleep_ns, k)
+                continue
         try:
             lat = access_prepared(cpu, cycle[j])
         except (BusError, FirewallViolation):
@@ -154,7 +184,10 @@ def _traffic(sim: Simulator, system: HiveSystem, cell_id: int, cpu: int,
         j += 1
         if j == period:
             j = 0
-        yield timeout(lat + gap)
+        if chain is not None:
+            yield chain.park(lat + gap, 1)
+        else:
+            yield timeout(lat + gap)
     return None
 
 
@@ -173,14 +206,20 @@ def _sampler(sim: Simulator, cell, interval_ns: int, stop_ns: int,
 
 def run_throughput(config: str, seed: int = 1995,
                    batch: Optional[bool] = None,
-                   wheel: Optional[bool] = None) -> dict:
+                   wheel: Optional[bool] = None,
+                   shards: Optional[int] = None,
+                   channels: Optional[bool] = None) -> dict:
     """Run the fixed scenario at one machine size; returns the result row.
 
     ``batch`` overrides the coherence controller's batched access path
     (None keeps the ``HIVE_BATCH`` environment default); ``wheel``
-    likewise overrides the engine timer wheel (``HIVE_WHEEL``).  The
-    simulated counters are identical either way — only wall clock
-    changes.
+    likewise overrides the engine timer wheel (``HIVE_WHEEL``);
+    ``shards`` the cell-sharded engine (``HIVE_SHARDS``, 0 = the
+    sequential engine).  The simulated counters are identical either
+    way — only wall clock changes.  ``channels`` forces the intercell
+    channel recorder on for a sequential run (it is always attached
+    under sharding), so a sequential baseline exposes the same channel
+    fingerprint a sharded run is compared against.
     """
     cfg = CONFIGS[config]
     params = HardwareParams(num_nodes=cfg.num_nodes,
@@ -193,11 +232,23 @@ def run_throughput(config: str, seed: int = 1995,
     boot_wall = time.perf_counter() - boot_wall0
     if batch is not None:
         system.machine.coherence.batch_enabled = batch
+    if shards is None:
+        shards = shards_from_env()
     registry = system.registry
     victim = cfg.num_cells - 1
     stop_ns = cfg.duration_ms * NS_PER_MS
     inject_ns = cfg.inject_ms * NS_PER_MS
     counters = {"accesses": 0, "samples": 0, "writable_page_samples": 0}
+
+    lookahead = params.min_intercell_latency_ns()
+    engine = None
+    chan = None
+    if shards > 0 or channels:
+        chan = attach_channels(system.machine, registry, lookahead,
+                               sim=sim)
+    if shards > 0:
+        groups = plan_shards(list(registry.cells), shards)
+        engine = ShardEngine(sim, groups, lookahead, channels=chan)
 
     for c in range(cfg.num_cells):
         cell = registry.cell_object(c)
@@ -208,8 +259,10 @@ def run_throughput(config: str, seed: int = 1995,
                               frames, ready), name=f"exporter{c}")
         client_cell = registry.cell_object(client)
         cpu = client_cell.cpu_ids[0]
+        lane = engine.lane_of(client) if engine is not None else None
         sim.process(_traffic(sim, system, client, cpu, ready, cfg,
-                             stop_ns, counters), name=f"traffic{client}")
+                             stop_ns, counters, lane=lane),
+                    name=f"traffic{client}")
         sim.process(_sampler(sim, cell, cfg.sample_interval_ms * NS_PER_MS,
                              stop_ns, counters), name=f"sampler{c}")
 
@@ -217,6 +270,7 @@ def run_throughput(config: str, seed: int = 1995,
                               registry.first_node_of(victim),
                               trigger="throughput-bench")
 
+    run = engine.run if engine is not None else sim.run
     # Cyclic GC passes contribute ~8% of wall on the large config and
     # cannot affect any simulated counter; suspend collection for the
     # measured window (the cycles it would have reclaimed are collected
@@ -225,11 +279,11 @@ def run_throughput(config: str, seed: int = 1995,
     gc.disable()
     try:
         wall0 = time.perf_counter()
-        sim.run(until=inject_ns)
+        run(until=inject_ns)
         wall_inject = time.perf_counter()
-        sim.run(until=inject_ns + cfg.recovery_window_ms * NS_PER_MS)
+        run(until=inject_ns + cfg.recovery_window_ms * NS_PER_MS)
         wall_recovered = time.perf_counter()
-        sim.run(until=stop_ns)
+        run(until=stop_ns)
         wall_end = time.perf_counter()
     finally:
         if gc_was_enabled:
@@ -244,7 +298,7 @@ def run_throughput(config: str, seed: int = 1995,
     discarded = sum(r.discarded_pages for r in records)
     wall_s = wall_end - wall0
     events = sim.events_processed
-    return {
+    row = {
         "config": cfg.name,
         "nodes": cfg.num_nodes,
         "cells": cfg.num_cells,
@@ -263,16 +317,53 @@ def run_throughput(config: str, seed: int = 1995,
         "samples": counters["samples"],
         "recovery_detected": bool(records),
         "discarded_pages": discarded,
+        "shards": shards,
         # Hot-path tier attribution (seed-deterministic counts; the
         # engine section is non-null only under HIVE_PROFILE=1).
         "tiers": tier_snapshot(system),
+    }
+    if chan is not None:
+        row["channels"] = chan.snapshot()
+    if engine is not None:
+        row["shard"] = engine.snapshot()
+    return row
+
+
+def compare_shards(config: str, shards: int, seed: int = 1995,
+                   batch: Optional[bool] = None,
+                   wheel: Optional[bool] = None) -> dict:
+    """The HIVE_SHARDS equivalence gate for one config.
+
+    Runs the scenario sequentially (with the channel recorder attached,
+    so the channel fingerprint exists on both sides) and sharded, and
+    diffs every key in :data:`SHARD_EQUIV_KEYS`.  Returns a dict with
+    ``match`` plus the per-key mismatches (empty when equivalent).
+    """
+    seq = run_throughput(config, seed=seed, batch=batch, wheel=wheel,
+                         shards=0, channels=True)
+    shd = run_throughput(config, seed=seed, batch=batch, wheel=wheel,
+                         shards=shards)
+    mismatches = {}
+    for key in SHARD_EQUIV_KEYS:
+        if seq.get(key) != shd.get(key):
+            mismatches[key] = {"sequential": seq.get(key),
+                               "sharded": shd.get(key)}
+    return {
+        "config": config,
+        "shards": shards,
+        "match": not mismatches,
+        "mismatches": mismatches,
+        "sequential_events_per_sec": seq["events_per_sec"],
+        "sharded_events_per_sec": shd["events_per_sec"],
+        "replayed_wakeups": shd.get("shard", {}).get("replayed_wakeups", 0),
     }
 
 
 def run_suite(configs: Optional[List[str]] = None,
               seed: int = 1995, repeats: int = 1,
               batch: Optional[bool] = None,
-              wheel: Optional[bool] = None) -> dict:
+              wheel: Optional[bool] = None,
+              shards: Optional[int] = None) -> dict:
     """Run the scenario at the requested sizes; returns the bench payload.
 
     With ``repeats > 1`` each config runs that many times and the
@@ -290,7 +381,8 @@ def run_suite(configs: Optional[List[str]] = None,
         best = None
         walls: List[float] = []
         for _ in range(max(1, repeats)):
-            row = run_throughput(name, seed=seed, batch=batch, wheel=wheel)
+            row = run_throughput(name, seed=seed, batch=batch, wheel=wheel,
+                                 shards=shards)
             walls.append(row["wall_s"])
             if best is None:
                 best = row
@@ -311,7 +403,45 @@ def run_suite(configs: Optional[List[str]] = None,
     return {"schema": BENCH_SCHEMA, "seed": seed, "results": results}
 
 
+def _calibration_workload() -> int:
+    """Fixed pure-Python work resembling the simulator hot paths
+    (dict stores/loads plus integer arithmetic in a tight loop)."""
+    d = {i: i for i in range(1024)}
+    acc = 0
+    for i in range(200_000):
+        d[i & 1023] = i
+        acc += d[(i * 7) & 1023]
+    return acc
+
+
+def machine_calibration(repeats: int = 10) -> dict:
+    """Host-speed anchor stamped into every bench file.
+
+    Committed ``BENCH_pr<N>.json`` files come from whichever machine ran
+    that PR, so a raw events/s ratio between two files conflates code
+    speed with host speed.  The score is the best-of-``repeats`` rate of
+    a fixed pure-Python workload; dividing a file's events/s by its own
+    score cancels the host term, which is what lets ``repro report
+    --check`` gate on cross-PR regressions between different machines.
+    Best-of matches the bench's own best-of-N wall-clock convention:
+    both numerator and denominator are peak rates, so transient
+    scheduler steal drops out of the ratio.  Residual host noise on a
+    shared box is ~10%, well inside the 30% gate threshold.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        _calibration_workload()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"score": round(200_000 / best, 1),
+            "workload": "dict-loop-200k",
+            "repeats": max(1, repeats)}
+
+
 def write_bench_file(path: str, payload: dict) -> None:
+    payload.setdefault("calibration", machine_calibration())
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -462,13 +462,20 @@ def cmd_bench(args) -> int:
     from repro.bench.parallel import DETERMINISTIC_KEYS, run_bench_campaign
     from repro.bench.throughput import (
         CONFIGS,
+        compare_shards,
         run_suite,
+        run_throughput,
         validate_payload,
         write_bench_file,
     )
 
+    from repro.sim.shard import shards_from_env
+
     names = list(CONFIGS) if args.config == "all" else [args.config]
+    shards = args.shards if args.shards is not None else shards_from_env()
     mode = (f"{args.parallel} workers" if args.parallel > 1 else "serial")
+    if shards:
+        mode += f", {shards} shards"
     print(f"throughput bench: {', '.join(names)} (seed {args.seed}, "
           f"best of {args.repeats}, {mode})")
     if args.parallel > 1:
@@ -477,7 +484,8 @@ def cmd_bench(args) -> int:
                                      workers=args.parallel,
                                      progress=args.progress)
     else:
-        payload = run_suite(names, seed=args.seed, repeats=args.repeats)
+        payload = run_suite(names, seed=args.seed, repeats=args.repeats,
+                            shards=shards)
     failed = bool(payload.get("failures"))
     for failure in payload.get("failures", []):
         print(f"FAILED shard {failure['config']!r} repeat "
@@ -597,6 +605,59 @@ def cmd_bench(args) -> int:
         }
         print(f"deterministic counters wheel vs heap: "
               f"{'MATCH' if wheel_match else 'MISMATCH'}")
+    shard_match = True
+    if args.compare_shards:
+        n = args.compare_shards
+        print(f"shard equivalence run (HIVE_SHARDS={n} vs sequential)...")
+        compare = {}
+        for name in names:
+            result = compare_shards(name, n, seed=args.seed)
+            if not result["match"]:
+                shard_match = False
+                print(f"COUNTER MISMATCH (sharded vs sequential) in "
+                      f"{name!r}: {sorted(result['mismatches'])}",
+                      file=sys.stderr)
+            compare[name] = result
+            print(f"{name:>7}: "
+                  f"{result['sharded_events_per_sec']:>12,.0f} events/sec "
+                  f"sharded  "
+                  f"{result['sequential_events_per_sec']:>12,.0f} "
+                  f"sequential  ({result['replayed_wakeups']} wakeups "
+                  f"replayed)")
+        payload["shard_compare"] = {
+            "counters_match": shard_match,
+            "shards": n,
+            "results": compare,
+        }
+        print(f"deterministic counters sharded vs sequential: "
+              f"{'MATCH' if shard_match else 'MISMATCH'}")
+    if args.shard_scaling:
+        print("intra-run shard scaling (events/s vs shard count)...")
+        scaling = {}
+        for name in names:
+            rows = {}
+            for n in (0, 1, 2, 4):
+                best = None
+                for _ in range(max(1, args.repeats)):
+                    row = run_throughput(name, seed=args.seed, shards=n)
+                    if best is None or row["wall_s"] < best["wall_s"]:
+                        best = row
+                entry = {"events_per_sec": best["events_per_sec"],
+                         "wall_s": best["wall_s"]}
+                if n:
+                    entry["replayed_wakeups"] = \
+                        best["shard"]["replayed_wakeups"]
+                    entry["windows_closed"] = \
+                        best["shard"]["windows_closed"]
+                rows["sequential" if n == 0 else f"shards_{n}"] = entry
+            base = rows["sequential"]["events_per_sec"]
+            for key, entry in rows.items():
+                entry["speedup"] = round(entry["events_per_sec"] / base, 2)
+            scaling[name] = rows
+            print(f"{name:>7}: " + "  ".join(
+                f"{key}={entry['events_per_sec']:,.0f} "
+                f"({entry['speedup']}x)" for key, entry in rows.items()))
+        payload["shard_scaling"] = scaling
     rpc_match = True
     if args.rpc:
         from repro.bench.rpcbench import (
@@ -642,7 +703,7 @@ def cmd_bench(args) -> int:
     write_bench_file(args.out, payload)
     print(f"bench written       : {args.out}")
     return 1 if (failed or not counters_match or not wheel_match
-                 or not rpc_match) else 0
+                 or not rpc_match or not shard_match) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -761,8 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--config",
                          choices=["small", "medium", "large", "all"],
                          default="all")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr6.json",
-                         help="output JSON path (default: BENCH_pr6.json)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr8.json",
+                         help="output JSON path (default: BENCH_pr8.json)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="runs per config; the fastest is kept "
                               "(default: 3)")
@@ -781,6 +842,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the RPC round-trip microbench "
                               "with the fast path on and off and verify "
                               "the RPC counters match")
+    p_bench.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="run the suite on the cell-sharded engine "
+                              "with N shard lanes (default: the "
+                              "HIVE_SHARDS env setting, else 0 = "
+                              "sequential engine)")
+    p_bench.add_argument("--compare-shards", type=int, default=0,
+                         metavar="N",
+                         help="also run each config sharded (N lanes) "
+                              "and sequentially and verify the "
+                              "deterministic counters and channel "
+                              "digests match byte-for-byte")
+    p_bench.add_argument("--shard-scaling", action="store_true",
+                         help="also measure events/s at shard counts "
+                              "1/2/4 vs the sequential engine and "
+                              "record the scaling table")
     p_bench.add_argument("--progress", action="store_true",
                          help="print a heartbeat line (shard i/N, "
                               "sim-time, events/s) per completed "

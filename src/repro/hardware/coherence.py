@@ -155,7 +155,7 @@ class CoherenceController:
         "remote_write_hist", "batch_enabled", "_node_gen",
         "_lines_per_node", "_total_lines", "_owner_arr", "_sharer_bits",
         "last_batch_completed", "tier_memo_hits", "tier_inline_batches",
-        "tier_vector_batches", "tier_scalar_batches",
+        "tier_vector_batches", "tier_scalar_batches", "channels",
     )
 
     def __init__(self, params: HardwareParams, memory: PhysicalMemory,
@@ -212,6 +212,12 @@ class CoherenceController:
         self.tier_inline_batches = 0
         self.tier_vector_batches = 0
         self.tier_scalar_batches = 0
+        #: optional intercell channel recorder (``sim/channels.py``).  A
+        #: plain None slot like the provenance tracer: the hardware
+        #: layer publishes cross-cell misses through it when attached
+        #: and pays one attribute test per *miss* otherwise — hit paths
+        #: never look at it (a hit never crosses a cell boundary).
+        self.channels = None
 
     # -- helpers ------------------------------------------------------
 
@@ -293,6 +299,11 @@ class CoherenceController:
         self._sharer_lines[src_node].add(line)
         if mirror is not None:
             mirror[line] |= 1 << cpu
+        channels = self.channels
+        if channels is not None:
+            home_node = addr // self._bytes_per_node
+            if home_node != src_node:
+                channels.coherence_miss(src_node, home_node, False, latency)
         return latency
 
     def write(self, cpu: int, addr: int) -> int:
@@ -343,6 +354,9 @@ class CoherenceController:
             stats.remote_write_misses += 1
             stats.remote_write_miss_ns_total += latency
             self.remote_write_hist.record(latency)
+            channels = self.channels
+            if channels is not None:
+                channels.coherence_miss(src_node, home_node, True, latency)
         cpus_per_node = self._cpus_per_node
         # Ownership changes hands: advance the home node's generation.
         self._node_gen[line // self._lines_per_node] += 1
@@ -512,6 +526,48 @@ class CoherenceController:
         else:
             prepared.memo = None
         return latency
+
+    def peek_memo(self, cpu: int, prepared: PreparedBatch) -> Optional[tuple]:
+        """Would :meth:`access_prepared` replay from the memo right now?
+
+        Returns the memo's ``(latency, read_hits, write_hits)`` when the
+        batch would resolve as a pure memo replay for ``cpu`` at this
+        instant, else None.  No state is touched — this is the shard
+        engine's validity probe: a chain of wakeups may only be replayed
+        arithmetically (:meth:`replay_memo`) while every batch in the
+        chain passes this check, and nothing can invalidate a memo
+        between engine events (every directory or fault-state mutation
+        happens inside one).
+        """
+        if not self.batch_enabled:
+            return None
+        memo = prepared.memo
+        if memo is None or memo[0] != cpu:
+            return None
+        mem = self.memory
+        gens = self._node_gen
+        faulty = mem._any_faults
+        state = mem._node_state
+        for node, gen in memo[1]:
+            if gens[node] != gen or (faulty and state[node]):
+                return None
+        return (memo[2], memo[3], memo[4])
+
+    def replay_memo(self, prepared: PreparedBatch, count: int) -> None:
+        """Apply ``count`` memo replays of a batch in one step.
+
+        Byte-equivalent to calling :meth:`access_prepared` ``count``
+        times while :meth:`peek_memo` holds: the same stats cells move
+        by the same amounts (``count`` memo-tier hits, ``count`` x the
+        memoized hit counts) and ``last_batch_completed`` lands on the
+        batch length exactly as each individual replay would leave it.
+        """
+        memo = prepared.memo
+        self.tier_memo_hits += count
+        stats = self.stats
+        stats.read_hits += memo[3] * count
+        stats.write_hits += memo[4] * count
+        self.last_batch_completed = memo[5]
 
     def access_batch(self, cpu: int, lines, ops) -> int:
         """Batched :meth:`read`/:meth:`write`: arrays in, total ns out.

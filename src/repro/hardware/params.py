@@ -121,6 +121,21 @@ class HardwareParams:
         """End-to-end SIPS delivery: IPI plus data-access penalty."""
         return self.ipi_latency_ns + self.sips_extra_ns
 
+    def min_intercell_latency_ns(self) -> int:
+        """The fastest any hardware operation crosses a cell boundary.
+
+        This is the authoritative conservative-synchronization lookahead
+        for the sharded engine (``sim/shard.py``): no intercell channel
+        op — remote miss, SIPS delivery, or firewall flip — can take
+        effect in another cell sooner than this, so a shard that has
+        drained its inputs up to time T is safe to advance to T plus
+        this bound.  Derived, never hard-coded: the minimum of the
+        remote-miss latency, the end-to-end SIPS delivery, and the
+        firewall status-change cost.
+        """
+        return min(self.mem_latency_ns, self.sips_latency_ns(),
+                   self.firewall_update_ns)
+
     # -- validation ---------------------------------------------------
     def validate(self) -> "HardwareParams":
         if self.num_nodes < 1:

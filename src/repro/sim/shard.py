@@ -1,0 +1,492 @@
+"""Cell-sharded simulation: conservative windows over the cell seam.
+
+Hive cells interact only through the enumerable intercell channels
+(:mod:`repro.sim.channels`): SIPS/RPC messages, remote coherence
+misses, firewall flips.  The slowest-is-fastest of those —
+``HardwareParams.min_intercell_latency_ns()`` — is a classic
+conservative-synchronization lookahead: work that stays inside one
+cell group can be advanced to the next cross-shard interaction point
+without waiting on the other shards event-by-event.
+
+``HIVE_SHARDS=N`` (or ``repro bench --shards N``) partitions the cells
+into N contiguous groups ("lanes") under a :class:`ShardEngine`
+coordinator.  The coordinator replaces the flat event-by-event loop
+with a window protocol:
+
+* **control events** (kernel clock ticks, detector reads, recovery,
+  fault injection, exporters, samplers — everything scheduled in the
+  engine queue) dispatch exactly as in the sequential engine, in the
+  same order;
+* **workload chains** (the bench traffic drivers) park *outside* the
+  engine queue.  Between two control events nothing can mutate
+  directory, firewall, or fault state, so a chain whose next accesses
+  are provably memoized cache hits (``CoherenceController.peek_memo``)
+  is advanced arithmetically to the horizon — one park replaces up to
+  a whole window of per-wakeup dispatches while every simulated
+  counter moves exactly as the sequential engine would move it;
+* at each **window barrier** (window width = the lookahead) the lanes
+  exchange their pending channel batches: each op is validated against
+  the lookahead invariant and tallied per lane, so cross-shard traffic
+  is accounted the way a worker-process executor would ship it.
+
+Determinism contract: a sharded run must produce byte-identical
+deterministic counters (events, accesses, coherence stats, tier
+attribution, channel digests) to the sequential engine on the golden
+configs — the same gate HIVE_BATCH / HIVE_WHEEL / HIVE_RPC_FAST
+answer to.  ``HIVE_SHARDS=0`` (the default) changes nothing anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.engine import Event, Simulator
+
+
+def shards_from_env() -> int:
+    """The ``HIVE_SHARDS`` setting (0 = sequential engine)."""
+    try:
+        return max(0, int(os.environ.get("HIVE_SHARDS", "0")))
+    except ValueError:
+        return 0
+
+
+def plan_shards(cell_ids: Sequence[int], shards: int) -> List[List[int]]:
+    """Partition cells into at most ``shards`` contiguous groups.
+
+    Contiguous by cell id: the bench scenario (and the paper's own
+    layouts) place neighbour grants between adjacent cells, so
+    contiguous groups keep the densest channel traffic intra-shard.
+    """
+    ids = sorted(cell_ids)
+    n = max(1, min(int(shards), len(ids)))
+    base, extra = divmod(len(ids), n)
+    groups: List[List[int]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            groups.append(ids[start:start + size])
+            start += size
+    return groups
+
+
+class ShardedChain:
+    """One workload chain (a traffic driver) owned by a shard lane.
+
+    The chain's driver stays an ordinary simulator process; the chain
+    object answers two questions for it: *how many of my next wakeups
+    are provably replayable before the horizon* (:meth:`credit`) and
+    *park me until my next wakeup* (:meth:`park`).  Event accounting
+    mirrors the sequential engine exactly — each sequential wakeup
+    costs two dispatched events (the timeout expiry pop plus its
+    callback), so a park representing ``k`` wakeups contributes
+    ``2k - 2`` at creation and ``2`` when it fires.
+    """
+
+    __slots__ = ("lane", "engine", "coh", "cpu", "cycle", "gap",
+                 "period", "parks", "replayed_wakeups", "home_nodes")
+
+    def __init__(self, lane: "ShardLane", coh, cpu: int, cycle: list,
+                 gap: int):
+        self.lane = lane
+        self.engine = lane.engine
+        self.coh = coh
+        self.cpu = cpu
+        self.cycle = cycle
+        self.gap = gap
+        self.period = len(cycle)
+        self.parks = 0
+        self.replayed_wakeups = 0
+        #: every home node this chain's accesses can touch.  A real
+        #: access only mutates directory state (generation counters) on
+        #: the home nodes of its own lines, so two chains with disjoint
+        #: home-node sets can never invalidate each other's memos.
+        homes = set()
+        for batch in cycle:
+            homes.update(batch.home_nodes)
+        self.home_nodes = frozenset(homes)
+
+    def is_clean(self) -> bool:
+        """Is this chain's *entire* cycle a provable memo replay?
+
+        A clean chain cannot mutate directory state at any upcoming
+        wakeup inside a mutation-free span: every access it will issue
+        is a validated replay.  A chain with any stale batch might take
+        the real access path (and really miss) at some wakeup, so its
+        next due acts as a conservative mutation barrier for
+        overlapping chains.
+        """
+        coh = self.coh
+        cpu = self.cpu
+        for batch in self.cycle:
+            if coh.peek_memo(cpu, batch) is None:
+                return False
+        return True
+
+    def credit(self, j: int, stop_ns: int):
+        """Replay as many wakeups as the horizon allows, starting at
+        cycle position ``j`` with the first access issued *now*.
+
+        Returns ``(k, sleep_ns, next_j)``: ``k`` wakeups' worth of
+        stats committed (0 when the next batch is not a provable memo
+        replay — the caller then takes the real access path), and the
+        single sleep that replaces their individual timeouts.  All
+        collapsed access times land strictly before the next engine
+        event and strictly before ``stop_ns``, which is exactly the
+        span the sequential engine would have executed them in with no
+        interleaved state mutation.
+        """
+        coh = self.coh
+        cpu = self.cpu
+        cycle = self.cycle
+        peek = coh.peek_memo(cpu, cycle[j])
+        if peek is None:
+            return 0, 0, j
+        engine = self.engine
+        sim = engine.sim
+        gap = self.gap
+        period = self.period
+        t0 = sim.now
+        qt = engine.horizon()
+        cap = stop_ns if qt is None or qt > stop_ns else qt
+        barrier = engine.barrier_for(self)
+        if barrier is not None and barrier < cap:
+            cap = barrier
+        counts = [0] * period
+        counts[j] = 1
+        k = 1
+        sleep = peek[0] + gap
+        # The first access is always valid: the driver is mid-dispatch,
+        # exactly as in the sequential engine.  Extend while the *next*
+        # access would still land strictly before the horizon.
+        if t0 + sleep < cap:
+            peeks: List[Optional[tuple]] = [None] * period
+            peeks[j] = peek
+            all_fresh = True
+            period_d = peek[0] + gap
+            for i in range(period):
+                if i == j:
+                    continue
+                p = coh.peek_memo(cpu, cycle[i])
+                peeks[i] = p
+                if p is None:
+                    all_fresh = False
+                else:
+                    period_d += p[0] + gap
+            if all_fresh and period_d > 0:
+                # Whole-period fast path: q more full periods fit when
+                # their sleeps still end at or before cap-1 (every
+                # access inside them then lands strictly earlier).
+                span = cap - 1 - t0
+                if span > sleep:
+                    q = (span - sleep) // period_d
+                    if q:
+                        k += q * period
+                        sleep += q * period_d
+                        for i in range(period):
+                            counts[i] += q
+            # Stepwise remainder (also the only path when some batch
+            # memo is stale: replay up to it, then let the driver take
+            # the real access path which rebuilds that memo).
+            while t0 + sleep < cap:
+                jn = (j + k) % period
+                p = peeks[jn]
+                if p is None:
+                    break
+                k += 1
+                counts[jn] += 1
+                sleep += p[0] + gap
+        replay = coh.replay_memo
+        for i in range(period):
+            if counts[i]:
+                replay(cycle[i], counts[i])
+        return k, sleep, (j + k) % period
+
+    def park(self, sleep_ns: int, wakeups: int) -> Event:
+        """Park until ``sim.now + sleep_ns``; the event the driver
+        yields in place of the ``wakeups`` timeouts it represents."""
+        engine = self.engine
+        sim = engine.sim
+        if wakeups > 1:
+            # The collapsed wakeups' dispatches (two each: expiry pop +
+            # callback), minus the pair the park itself accounts for
+            # when it fires.
+            sim.events_processed += 2 * (wakeups - 1)
+            self.replayed_wakeups += wakeups - 1
+        self.parks += 1
+        self.lane.parks += 1
+        ev = Event(sim)
+        engine._order += 1
+        due = sim.now + sleep_ns
+        heapq.heappush(engine._parked, [due, engine._order, ev, self])
+        # Freshness is evaluated right now, after this chain's own
+        # accesses: a chain with any stale batch may go real (and
+        # mutate) at a coming wakeup, so it barriers overlapping chains
+        # at its due until it proves itself clean again.
+        if self.is_clean():
+            engine._dirty.pop(self, None)
+        else:
+            engine._dirty[self] = due
+        return ev
+
+
+class ShardLane:
+    """One cell group: chain registry plus per-lane barrier accounting."""
+
+    __slots__ = ("engine", "index", "cells", "chains", "parks",
+                 "ops_in", "ops_out")
+
+    def __init__(self, engine: "ShardEngine", index: int,
+                 cells: Sequence[int]):
+        self.engine = engine
+        self.index = index
+        self.cells = list(cells)
+        self.chains: List[ShardedChain] = []
+        self.parks = 0
+        self.ops_in = 0
+        self.ops_out = 0
+
+    def register_chain(self, coh, cpu: int, cycle: list,
+                       gap: int) -> ShardedChain:
+        chain = ShardedChain(self, coh, cpu, cycle, gap)
+        self.chains.append(chain)
+        return chain
+
+    def snapshot(self) -> Dict:
+        return {
+            "cells": self.cells,
+            "chains": len(self.chains),
+            "parks": self.parks,
+            "replayed_wakeups": sum(c.replayed_wakeups
+                                    for c in self.chains),
+            "channel_ops_in": self.ops_in,
+            "channel_ops_out": self.ops_out,
+        }
+
+
+class ShardEngine:
+    """Conservative-window coordinator over one simulator.
+
+    Drives the engine in (control-event, parked-chain) order: engine
+    events keep their sequential dispatch order; parked chains fire at
+    their due times through :meth:`Simulator.advance_to`.  At every
+    window boundary the pending channel batches are exchanged between
+    lanes (validated against the lookahead, tallied per lane).
+    """
+
+    def __init__(self, sim: Simulator, groups: Sequence[Sequence[int]],
+                 lookahead_ns: int, channels=None):
+        if lookahead_ns <= 0:
+            raise ValueError(f"lookahead must be positive: {lookahead_ns}")
+        self.sim = sim
+        self.lookahead_ns = lookahead_ns
+        self.channels = channels
+        self.lanes = [ShardLane(self, i, g) for i, g in enumerate(groups)]
+        self._lane_of_cell: Dict[int, ShardLane] = {}
+        for lane in self.lanes:
+            for cell in lane.cells:
+                self._lane_of_cell[cell] = lane
+        self._parked: list = []
+        self._order = 0
+        self._window = 0
+        #: chains that cannot prove their whole cycle replays, keyed to
+        #: the due time of their next (possibly mutating) wakeup
+        self._dirty: Dict[ShardedChain, int] = {}
+        #: queue events may have mutated directory state; re-evaluate
+        #: parked chains' cleanliness before trusting ``_dirty`` again
+        self._revalidate = True
+        #: next *queue* event time, cached while dispatching a batch of
+        #: parked-chain resumes (their pending siblings sit in the
+        #: now-queue and would otherwise hide the real horizon)
+        self._qt_cache: Optional[int] = None
+        self._qt_valid = False
+        self.windows_closed = 0
+        self.batches_exchanged = 0
+        self.ops_exchanged = 0
+
+    def lane_of(self, cell_id: int) -> ShardLane:
+        return self._lane_of_cell[cell_id]
+
+    # -- replay horizon ------------------------------------------------
+
+    def horizon(self) -> Optional[int]:
+        """The next engine-queue event time, as seen by a chain credit.
+
+        While a batch of parked resumes is being dispatched the queue
+        horizon is cached (chain resumes schedule no queue events, so
+        it cannot move); outside a resume batch fall back to the live
+        ``next_event_time`` — which conservatively returns ``now`` when
+        other now-queue callbacks are pending.
+        """
+        if self._qt_valid:
+            return self._qt_cache
+        return self.sim.next_event_time()
+
+    def barrier_for(self, chain: ShardedChain) -> Optional[int]:
+        """Earliest upcoming wakeup of a dirty chain that could mutate
+        state this chain's memos depend on (None when unconstrained).
+
+        Mutations from the engine queue are bounded by :meth:`horizon`;
+        this bounds the only other source — overlapping chains whose
+        next accesses are not provable replays.
+        """
+        dirty = self._dirty
+        if self._revalidate:
+            # A queue event dispatched since the last look: directory
+            # generations may have moved, so re-evaluate every parked
+            # chain (fired chains were re-marked by _fire_parked/park).
+            for entry in self._parked:
+                c = entry[3]
+                if c.is_clean():
+                    dirty.pop(c, None)
+                else:
+                    dirty[c] = entry[0]
+            self._revalidate = False
+        if not dirty:
+            return None
+        now = self.sim.now
+        barrier = None
+        mine = chain.home_nodes
+        stale = None
+        for c, due in dirty.items():
+            if due < now:
+                # The chain already executed (or died) at that due; a
+                # live one re-registered itself when it re-parked.
+                if stale is None:
+                    stale = [c]
+                else:
+                    stale.append(c)
+                continue
+            if c is chain:
+                continue
+            if mine.isdisjoint(c.home_nodes):
+                continue
+            if barrier is None or due < barrier:
+                barrier = due
+        if stale:
+            for c in stale:
+                del dirty[c]
+        return barrier
+
+    # -- window barrier ------------------------------------------------
+
+    def _exchange_to(self, t: int) -> None:
+        """Close windows up to ``t``: drain and account channel batches.
+
+        Empty windows are coalesced (nothing to exchange); the window
+        *indexing* still uses the lookahead width, so batch attribution
+        is identical to a fixed-cadence barrier executor's.
+        """
+        channels = self.channels
+        if channels is None:
+            return
+        w = t // self.lookahead_ns
+        if w == self._window:
+            return
+        self._window = w
+        if not channels.pending:
+            return
+        lane_of = self._lane_of_cell
+        for (src, dst), ops in channels.drain().items():
+            self.batches_exchanged += 1
+            self.ops_exchanged += len(ops)
+            src_lane = lane_of.get(src)
+            dst_lane = lane_of.get(dst)
+            if src_lane is not None:
+                src_lane.ops_out += len(ops)
+            if dst_lane is not None and dst_lane is not src_lane:
+                dst_lane.ops_in += len(ops)
+        self.windows_closed += 1
+
+    # -- the run loop --------------------------------------------------
+
+    def run(self, until: int) -> None:
+        """Advance simulation to ``until`` (the sharded ``sim.run``)."""
+        sim = self.sim
+        parked = self._parked
+        heappop = heapq.heappop
+        while True:
+            qt = sim.next_event_time()
+            pt = parked[0][0] if parked else None
+            if qt is None and pt is None:
+                sim.run(until=until)
+                break
+            if pt is None or (qt is not None and qt <= pt):
+                # Engine events first on ties: a control event was
+                # scheduled before the chain parked, so its seq is
+                # lower — the sequential engine would dispatch it first.
+                t = qt
+            else:
+                t = pt
+            if t > until:
+                sim.run(until=until)
+                break
+            self._exchange_to(t)
+            if t == qt:
+                sim.run(until=qt)
+                # Queue dispatches may have mutated directory state.
+                self._revalidate = True
+                if pt is not None and pt <= qt:
+                    self._resume_batch(pt)
+                continue
+            sim.advance_to(pt)
+            self._resume_batch(pt)
+        self._exchange_to(until)
+
+    def _resume_batch(self, pt: int) -> None:
+        """Fire every park due at ``pt`` and dispatch the resumes.
+
+        The queue horizon is cached across the batch: the pending
+        sibling resumes sit in the now-queue (which would make
+        ``next_event_time`` report ``now``), but chain resumes cannot
+        schedule queue events, so the true horizon is fixed.
+        """
+        sim = self.sim
+        self._qt_cache = sim.next_event_time()
+        self._qt_valid = True
+        try:
+            self._fire_parked(pt)
+            sim.run(until=pt)
+        finally:
+            self._qt_valid = False
+            self._qt_cache = None
+
+    def _fire_parked(self, t: int) -> None:
+        sim = self.sim
+        parked = self._parked
+        dirty = self._dirty
+        heappop = heapq.heappop
+        while parked and parked[0][0] == t:
+            _due, _order, ev, chain = heappop(parked)
+            # The expiry dispatch a sequential timeout would have cost;
+            # the succeed callback's dispatch is counted by the run loop.
+            sim.events_processed += 1
+            # A firing chain that cannot prove its cycle clean may take
+            # the real access path *at this instant*: overlapping
+            # chains resumed in the same batch must not replay past it.
+            if chain.is_clean():
+                dirty.pop(chain, None)
+            else:
+                dirty[chain] = t
+            ev.succeed()
+
+    def snapshot(self) -> Dict:
+        """Deterministic summary for the bench row."""
+        out = {
+            "shards": len(self.lanes),
+            "lookahead_ns": self.lookahead_ns,
+            "windows_closed": self.windows_closed,
+            "batches_exchanged": self.batches_exchanged,
+            "ops_exchanged": self.ops_exchanged,
+            "parks": sum(lane.parks for lane in self.lanes),
+            "replayed_wakeups": sum(
+                c.replayed_wakeups for lane in self.lanes
+                for c in lane.chains),
+            "lanes": [lane.snapshot() for lane in self.lanes],
+        }
+        if self.channels is not None:
+            out["channels"] = self.channels.snapshot()
+        return out

@@ -50,10 +50,13 @@ class TestParser:
             ["metrics", "raytrace", "--format", "json"])
         assert args.format == "json"
 
-    def test_bench_defaults_to_pr6_out(self):
+    def test_bench_defaults_to_pr8_out(self):
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_pr6.json"
+        assert args.out == "BENCH_pr8.json"
         assert not args.progress
+        assert args.shards is None  # falls back to HIVE_SHARDS
+        assert args.compare_shards == 0
+        assert not args.shard_scaling
 
     def test_report_defaults(self):
         args = build_parser().parse_args(["report"])

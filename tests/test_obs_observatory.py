@@ -10,6 +10,7 @@ from repro.bench.report import (
     load_bench_trajectory,
     regression_delta,
     render_campaign_report,
+    trajectory_gate_warning,
 )
 from repro.obs import (
     availability_from_dicts,
@@ -347,10 +348,12 @@ class TestCampaignReport:
             "tiers": {"coherence": None, "rpc": None, "engine": None},
         }
 
-    def _write_bench(self, tmp_path, name, eps):
+    def _write_bench(self, tmp_path, name, eps, cal=100.0):
         path = tmp_path / name
-        path.write_text(json.dumps(
-            {"results": {"large": {"events_per_sec": eps}}}))
+        payload = {"results": {"large": {"events_per_sec": eps}}}
+        if cal is not None:
+            payload["calibration"] = {"score": cal}
+        path.write_text(json.dumps(payload))
 
     def test_markdown_is_deterministic_and_has_percentiles(self):
         payload = self._payload()
@@ -367,9 +370,46 @@ class TestCampaignReport:
         traj = load_bench_trajectory(str(tmp_path))
         assert [t["pr"] for t in traj] == [3, 4]
         reg = regression_delta(traj)
+        assert reg["calibrated"]
         assert reg["delta"] == pytest.approx(-0.4)
+        assert reg["raw_delta"] == pytest.approx(-0.4)
         problems = check_campaign_report(self._payload(), traj)
         assert any("regression" in p for p in problems)
+
+    def test_calibration_cancels_host_speed(self, tmp_path):
+        # Same code speed per host cycle: the newer file ran on a host
+        # 45% slower (calibration 55 vs 100) and its raw events/s
+        # dropped accordingly.  Normalized, there is no regression.
+        self._write_bench(tmp_path, "BENCH_pr3.json", 100_000, cal=100.0)
+        self._write_bench(tmp_path, "BENCH_pr4.json", 60_000, cal=55.0)
+        traj = load_bench_trajectory(str(tmp_path))
+        reg = regression_delta(traj)
+        assert reg["calibrated"]
+        assert reg["raw_delta"] == pytest.approx(-0.4)
+        assert reg["delta"] == pytest.approx((60_000 / 55 - 1000) / 1000)
+        assert reg["delta"] > 0
+        assert check_campaign_report(self._payload(), traj) == []
+        assert trajectory_gate_warning(traj) is None
+
+    def test_uncalibrated_comparison_warns_instead_of_failing(
+            self, tmp_path):
+        # The older file predates the host-calibration anchor: a raw
+        # -40% could be a slower host, so the gate degrades to a
+        # warning naming the anchor-less file.
+        self._write_bench(tmp_path, "BENCH_pr3.json", 100_000, cal=None)
+        self._write_bench(tmp_path, "BENCH_pr4.json", 60_000)
+        traj = load_bench_trajectory(str(tmp_path))
+        reg = regression_delta(traj)
+        assert not reg["calibrated"]
+        assert reg["delta"] == pytest.approx(-0.4)
+        problems = check_campaign_report(self._payload(), traj)
+        assert not any("regression" in p for p in problems)
+        warning = trajectory_gate_warning(traj)
+        assert "BENCH_pr3.json" in warning
+        assert "not comparable" in warning
+        assert "-40.0%" in warning
+        text = render_campaign_report(self._payload(), traj)
+        assert "UNVERIFIABLE" in text
 
     def test_check_passes_on_healthy_campaign(self, tmp_path):
         self._write_bench(tmp_path, "BENCH_pr3.json", 100_000)

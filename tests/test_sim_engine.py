@@ -460,6 +460,93 @@ class TestTimerWheel:
         monkeypatch.setenv("HIVE_WHEEL", "1")
         assert Simulator()._wheel_on
 
+    def test_slot_boundary_entries_dispatch_in_order(self):
+        """Entries landing exactly on a slot boundary (t multiple of the
+        slot width) must neither fire early nor be skipped when the
+        cursor reaches their slot."""
+        from repro.sim.engine import _WHEEL_SHIFT
+
+        width = 1 << _WHEEL_SHIFT
+
+        def run(wheel):
+            sim = Simulator(wheel=wheel)
+            seen = []
+            # exactly on the boundary, one before, one after — across
+            # several consecutive slots
+            for k in range(3, 8):
+                sim.schedule(k * width - 1, seen.append, (k, "pre"))
+                sim.schedule(k * width, seen.append, (k, "on"))
+                sim.schedule(k * width + 1, seen.append, (k, "post"))
+            sim.run()
+            return seen, sim.now, sim.events_processed
+
+        wheel_out = run(True)
+        assert wheel_out == run(False)
+        seen = wheel_out[0]
+        assert seen == sorted(seen, key=lambda x: (x[0],
+                              ("pre", "on", "post").index(x[1])))
+
+    def test_cursor_wrap_at_wheel_slots(self):
+        """Timers more than a full wheel revolution apart reuse the same
+        physical slot; the wrap must not conflate the two epochs."""
+        from repro.sim.engine import _WHEEL_SHIFT, _WHEEL_SLOTS
+
+        width = 1 << _WHEEL_SHIFT
+        horizon = _WHEEL_SLOTS * width
+
+        def run(wheel):
+            sim = Simulator(wheel=wheel)
+            seen = []
+            slot_t = 100 * width + 7
+            # First epoch: inside the horizon -> lives on the wheel.
+            sim.schedule(slot_t, seen.append, "epoch0")
+
+            def reschedule(_):
+                # Scheduled from t=slot_t: one full revolution later,
+                # same slot index modulo _WHEEL_SLOTS.
+                sim.schedule(horizon, seen.append, "epoch1")
+
+            sim.schedule(slot_t, reschedule, None)
+            # A sentinel between the epochs proves epoch1 did not fire
+            # with epoch0's slot flush.
+            sim.schedule(slot_t + horizon // 2, seen.append, "mid")
+            sim.run()
+            return seen, sim.now, sim.events_processed
+
+        wheel_out = run(True)
+        assert wheel_out == run(False)
+        assert wheel_out[0] == ["epoch0", "mid", "epoch1"]
+
+    def test_heap_compaction_at_exact_threshold(self):
+        """Crossing ``_COMPACT_MIN_DEAD`` cancelled entries (while dead
+        entries outnumber half the heap) compacts the queue in place —
+        and the survivors still dispatch correctly."""
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+
+        sim = Simulator(wheel=False)
+        seen = []
+        doomed = [sim.schedule(1_000_000 + i, seen.append, f"dead{i}")
+                  for i in range(_COMPACT_MIN_DEAD + 1)]
+        keep = [sim.schedule(2_000_000 + i, seen.append, f"keep{i}")
+                for i in range(10)]
+        # Cancel up to the threshold: entries are cleared in place but
+        # stay in the heap (compaction requires dead > _COMPACT_MIN_DEAD
+        # *and* dead majority).
+        for entry in doomed[:_COMPACT_MIN_DEAD]:
+            assert sim.cancel(entry)
+        assert sim._dead == _COMPACT_MIN_DEAD
+        assert len(sim._queue) == _COMPACT_MIN_DEAD + 1 + len(keep)
+        # One more cancellation crosses the threshold -> compaction.
+        assert sim.cancel(doomed[_COMPACT_MIN_DEAD])
+        assert sim._dead == 0
+        assert len(sim._queue) == len(keep)
+        assert all(e[2] is not None for e in sim._queue)
+        # Cancelling an already-cancelled entry is a no-op.
+        assert not sim.cancel(doomed[0])
+        sim.run()
+        assert seen == [f"keep{i}" for i in range(10)]
+        assert sim.events_processed == len(keep)
+
     def test_run_until_event_equivalent_across_modes(self):
         def run(wheel):
             sim = Simulator(wheel=wheel)
