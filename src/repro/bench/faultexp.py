@@ -77,6 +77,9 @@ class FaultTrialResult:
     #: the paper measured 40-80 ms
     recovery_duration_ns: Optional[int] = None
     notes: str = ""
+    #: the seed that drove fault arming when it differs from ``seed``
+    #: (replay campaigns fix the workload seed and sweep only this).
+    fault_seed: Optional[int] = None
 
     @property
     def latency_ms(self) -> Optional[float]:
@@ -147,9 +150,21 @@ class FaultExperimentRunner:
 
     # -- one trial ------------------------------------------------------------
 
-    def run_trial(self, scenario: str, seed: int = 0) -> FaultTrialResult:
+    def run_trial(self, scenario: str, seed: int = 0,
+                  fault_seed: Optional[int] = None) -> FaultTrialResult:
+        """One Table 7.4 trial.
+
+        ``seed`` drives everything deterministic about the run — boot,
+        workload traffic, and (by default) the fault schedule.
+        ``fault_seed`` decouples the fault schedule from the traffic:
+        a replay campaign records trial 0 once and sweeps only the
+        fault arming across trials, so two trials with equal ``seed``
+        and different ``fault_seed`` execute identical op streams up
+        to the injection point.
+        """
         if scenario not in ALL_SCENARIOS:
             raise ValueError(f"unknown scenario {scenario!r}")
+        fseed = seed if fault_seed is None else fault_seed
         system = self._boot(seed)
         if self.on_boot is not None:
             self.on_boot(system)
@@ -168,36 +183,36 @@ class FaultExperimentRunner:
 
         system.injector.observers.append(note_injection)
 
-        kfi = KernelFaultInjector(system, seed=seed + 101)
+        kfi = KernelFaultInjector(system, seed=fseed + 101)
 
         # Arm / schedule the fault.
         if scenario == HW_DURING_PROCESS_CREATION:
             # Skip a few occurrences so the fault lands mid-run, not on
             # the very first fork.
-            for _ in range(2 + seed % 4):
+            for _ in range(2 + fseed % 4):
                 system.injector.arm_phase("process_creation",
                                           "noop", self.victim_cell)
             system.injector.arm_phase("process_creation",
                                       FaultInjector.NODE_FAILURE,
                                       self.victim_cell)
         elif scenario == HW_DURING_COW_SEARCH:
-            for _ in range(20 + (seed * 13) % 40):
+            for _ in range(20 + (fseed * 13) % 40):
                 system.injector.arm_phase("cow_search", "noop",
                                           self.victim_cell)
             system.injector.arm_phase("cow_search",
                                       FaultInjector.NODE_FAILURE,
                                       self.victim_cell)
         elif scenario == HW_RANDOM_TIME:
-            t = 500 * NS_PER_MS + (seed * 367_934_871) % (3_000 * NS_PER_MS)
+            t = 500 * NS_PER_MS + (fseed * 367_934_871) % (3_000 * NS_PER_MS)
             system.injector.inject_at(t, FaultInjector.NODE_FAILURE,
                                       self.victim_cell, trigger="random")
         elif scenario in (SW_ADDRESS_MAP, SW_COW_TREE):
             # Corrupt once the victim has processes / COW structure;
             # schedule at a pseudo-random point mid-run.
-            t = 1_000 * NS_PER_MS + (seed * 217_645_199) % (2_000 * NS_PER_MS)
+            t = 1_000 * NS_PER_MS + (fseed * 217_645_199) % (2_000 * NS_PER_MS)
 
             def corrupt() -> None:
-                mode = ALL_MODES[seed % len(ALL_MODES)]
+                mode = ALL_MODES[fseed % len(ALL_MODES)]
                 if scenario == SW_ADDRESS_MAP:
                     rec = kfi.corrupt_address_map(
                         self.victim_cell, mode,
@@ -275,6 +290,7 @@ class FaultExperimentRunner:
             check_ok=check_ok,
             recovery_duration_ns=recovery_duration,
             notes=notes.strip(),
+            fault_seed=fault_seed,
         )
 
     def _outputs_ok(self, platform: Platform, workload) -> bool:

@@ -106,6 +106,23 @@ def _effective_workers(requested: int) -> int:
     return max(1, min(requested, os.cpu_count() or requested))
 
 
+def _warn_cpu_cap(workers: int, procs: int) -> bool:
+    """True (and one stderr line) when the pool was capped by the host.
+
+    A capped pool is not an error — the campaign still completes — but
+    per-shard wall clocks are measured under a smaller pool than asked
+    for, so the payload records it instead of shrinking silently.
+    """
+    capped = procs < workers
+    if capped:
+        sys.stderr.write(
+            f"[campaign] warning: --parallel {workers} capped to "
+            f"{procs} worker{'s' if procs != 1 else ''} "
+            f"({os.cpu_count()} CPUs on this host)\n")
+        sys.stderr.flush()
+    return capped
+
+
 # -- throughput bench campaign ---------------------------------------------
 
 
@@ -203,6 +220,7 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
     shards.sort(key=lambda s: CONFIGS[s[0]].num_nodes
                 * CONFIGS[s[0]].duration_ms, reverse=True)
     procs = _effective_workers(workers)
+    cpu_capped = _warn_cpu_cap(workers, procs)
 
     def on_shard(done: int, shard: dict) -> None:
         if shard["status"] != "ok":
@@ -232,6 +250,7 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
         "campaign_wall_s": round(campaign_wall, 4),
         "shard_wall_s_total": round(sum(shard_walls), 4),
         "cpu_count": os.cpu_count(),
+        "cpu_capped": cpu_capped,
     }
     return payload
 
@@ -240,16 +259,19 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
 
 
 def _inject_shard_worker(
-        shard: Tuple[str, int, str, Optional[str]]) -> dict:
-    """One (scenario, seed) trial; runs in a pool worker process.
+        shard: Tuple[str, int, Optional[int], str, Optional[str],
+                     bool]) -> dict:
+    """One (scenario, seed, fault_seed) trial; runs in a pool worker.
 
     Every trial records a flight recorder (the spans are deterministic
     and the recording cost is noise next to the trial itself) and ships
     its availability ledger and tier counters back as JSON-safe dicts,
     so the merged campaign report carries recovery-latency percentiles
     and per-cell availability even when no telemetry dir was requested.
+    ``capture`` additionally ships the trial's columnar event stream
+    (replay campaigns diff every trial against trial 0 at merge time).
     """
-    scenario, seed, agreement, telemetry_dir = shard
+    scenario, seed, fault_seed, agreement, telemetry_dir, capture = shard
     try:
         from repro.obs import (attach_flight_recorder, attach_provenance,
                                availability_report, maybe_attach_watchdog,
@@ -267,10 +289,10 @@ def _inject_shard_worker(
 
         wall0 = time.perf_counter()
         runner = FaultExperimentRunner(agreement=agreement, on_boot=on_boot)
-        trial = runner.run_trial(scenario, seed)
+        trial = runner.run_trial(scenario, seed, fault_seed=fault_seed)
         wall_s = time.perf_counter() - wall0
         out: dict = {"status": "ok", "scenario": scenario, "seed": seed,
-                     "trial": trial.to_dict()}
+                     "fault_seed": fault_seed, "trial": trial.to_dict()}
         system = telemetry.get("system")
         recorder = telemetry.get("recorder")
         if system is not None:
@@ -282,14 +304,22 @@ def _inject_shard_worker(
             out["heartbeat"] = {"sim_ms": system.sim.now / 1e6,
                                 "events": system.sim.events_processed,
                                 "wall_s": round(wall_s, 4)}
+        if capture and recorder is not None:
+            from repro.sim.oplog import oplog_from_recorder
+            out["oplog"] = oplog_from_recorder(
+                recorder.events).to_jsonable()
         if telemetry_dir and recorder is not None:
             from repro.obs import write_telemetry
-            shard_dir = os.path.join(telemetry_dir, f"{scenario}-{seed}")
+            shard_dir = os.path.join(
+                telemetry_dir,
+                f"{scenario}-{seed}" if fault_seed is None
+                else f"{scenario}-{seed}-f{fault_seed}")
             write_telemetry(shard_dir, recorder, system)
             out["telemetry_dir"] = shard_dir
         return out
     except Exception:
         return {"status": "error", "scenario": scenario, "seed": seed,
+                "fault_seed": fault_seed,
                 "error": traceback.format_exc()}
 
 
@@ -307,36 +337,48 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
     audit_labels: List[str] = []
     audit_reports: List[dict] = []
     watchdogs: Dict[str, dict] = {}
+    oplogs: Dict[str, list] = {}
     for shard in shards:
-        key = (shard["scenario"], shard["seed"])
+        key = (shard["scenario"], shard["seed"], shard.get("fault_seed"))
         if key in seen:
             raise CampaignError(
                 f"overlapping shards for trial {key!r}: each "
-                f"(scenario, seed) must be produced exactly once")
+                f"(scenario, seed, fault_seed) must be produced "
+                f"exactly once")
         seen.add(key)
         if shard["status"] != "ok":
-            failures.append({"scenario": shard["scenario"],
-                             "seed": shard["seed"],
-                             "error": shard.get("error", "unknown")})
+            failure = {"scenario": shard["scenario"],
+                       "seed": shard["seed"],
+                       "error": shard.get("error", "unknown")}
+            if shard.get("fault_seed") is not None:
+                failure["fault_seed"] = shard["fault_seed"]
+            failures.append(failure)
             continue
         summary = summaries.setdefault(
             shard["scenario"], ScenarioSummary(scenario=shard["scenario"]))
         summary.trials.append(FaultTrialResult.from_dict(shard["trial"]))
+        fseed = shard.get("fault_seed")
+        label = (f"{shard['scenario']}-{shard['seed']}" if fseed is None
+                 else f"{shard['scenario']}-{shard['seed']}-f{fseed}")
         if shard.get("availability"):
-            avail_labels.append(f"{shard['scenario']}-{shard['seed']}")
+            avail_labels.append(label)
             avail_reports.append(shard["availability"])
         if shard.get("tiers"):
             tier_snaps.append(shard["tiers"])
         if shard.get("audit"):
-            audit_labels.append(f"{shard['scenario']}-{shard['seed']}")
+            audit_labels.append(label)
             audit_reports.append(shard["audit"])
         if shard.get("watchdog"):
-            watchdogs[f"{shard['scenario']}-{shard['seed']}"] = \
-                shard["watchdog"]
+            watchdogs[label] = shard["watchdog"]
         if shard.get("telemetry_dir"):
             telemetry_dirs.append(shard["telemetry_dir"])
+        if shard.get("oplog") is not None:
+            oplogs.setdefault(shard["scenario"], []).append(
+                (shard.get("fault_seed"), shard["oplog"]))
     for summary in summaries.values():
-        summary.trials.sort(key=lambda t: t.seed)
+        summary.trials.sort(
+            key=lambda t: (t.seed,
+                           t.seed if t.fault_seed is None else t.fault_seed))
     scenarios = {}
     for scenario, summary in summaries.items():
         workload, _n, avg, mx = PAPER_TABLE_7_4[scenario]
@@ -370,28 +412,75 @@ def merge_inject_shards(shards: Sequence[dict]) -> dict:
         payload["watchdog"] = watchdogs
     if telemetry_dirs:
         payload["telemetry_dirs"] = sorted(telemetry_dirs)
+    if oplogs:
+        payload["replay"] = _merge_replay_streams(oplogs)
     if failures:
         payload["failures"] = failures
     return payload
+
+
+def _merge_replay_streams(oplogs: Dict[str, list]) -> dict:
+    """Diff each scenario's trial streams against its trial 0.
+
+    ``oplogs`` maps scenario -> [(fault_seed, jsonable OpLog), ...].
+    Trial 0 is the stream with the smallest fault seed (the campaign
+    records it first); every other trial executes the same traffic, so
+    its divergence point localizes exactly where the moved fault
+    schedule pushed the run off the recorded timeline.
+    """
+    from repro.sim.oplog import OpLog, divergence_point
+
+    out: Dict[str, dict] = {}
+    for scenario, entries in sorted(oplogs.items()):
+        entries = sorted(entries, key=lambda e: (e[0] is not None, e[0]))
+        base_seed, base_json = entries[0]
+        base = OpLog.from_jsonable(base_json)
+        trials = []
+        for fault_seed, log_json in entries[1:]:
+            div = divergence_point(base, OpLog.from_jsonable(log_json))
+            div["fault_seed"] = fault_seed
+            trials.append(div)
+        out[scenario] = {
+            "base_fault_seed": base_seed,
+            "trace_rows": len(base),
+            "trials": trials,
+        }
+    return out
 
 
 def run_inject_campaign(scenarios: List[str], trials: int,
                         seed_base: int = 1995, workers: int = 2,
                         agreement: str = "oracle",
                         telemetry_dir: Optional[str] = None,
-                        progress: bool = False) -> dict:
+                        progress: bool = False,
+                        replay: bool = False) -> dict:
     """Shard Table 7.4 trials across a process pool and merge.
 
     Each trial is one shard — the slowest scenario (sw_cow_tree) runs
     minutes-long trials, so trial granularity keeps the pool busy.
     ``progress`` prints one heartbeat line per completed trial.
+
+    ``replay`` switches the sweep to record-once form: every trial of
+    a scenario runs the *same* workload seed and only the fault seed
+    moves, each shard ships its columnar event stream, and the merged
+    payload's ``"replay"`` section diffs trials 1..N against trial 0
+    (identical-prefix length, divergence time).  Composes with any
+    worker count — the streams are diffed at merge time, so no shard
+    depends on another's output.
     """
-    shards = [(scenario, seed_base + i, agreement, telemetry_dir)
-              for scenario in scenarios for i in range(trials)]
+    if replay:
+        shards = [(scenario, seed_base, seed_base + i, agreement,
+                   telemetry_dir, True)
+                  for scenario in scenarios for i in range(trials)]
+    else:
+        shards = [(scenario, seed_base + i, None, agreement,
+                   telemetry_dir, False)
+                  for scenario in scenarios for i in range(trials)]
     # The historically slowest scenarios first (paper latency order).
     slow = {s: PAPER_TABLE_7_4[s][2] for s in PAPER_TABLE_7_4}
     shards.sort(key=lambda s: slow.get(s[0], 0), reverse=True)
     procs = _effective_workers(workers)
+    cpu_capped = _warn_cpu_cap(workers, procs)
 
     def on_shard(done: int, shard: dict) -> None:
         label = f"{shard['scenario']} seed {shard['seed']}"
@@ -413,7 +502,8 @@ def run_inject_campaign(scenarios: List[str], trials: int,
     campaign_wall = time.perf_counter() - wall0
     # Pool completion order is scheduling-dependent; sort by shard key
     # so the merged payload is byte-stable for a given seed base.
-    raw.sort(key=lambda s: (s["scenario"], s["seed"]))
+    raw.sort(key=lambda s: (s["scenario"], s["seed"],
+                            s.get("fault_seed") or -1))
     payload = merge_inject_shards(raw)
     payload["parallel"] = {
         "workers": workers,
@@ -421,5 +511,6 @@ def run_inject_campaign(scenarios: List[str], trials: int,
         "shards": len(shards),
         "campaign_wall_s": round(campaign_wall, 4),
         "cpu_count": os.cpu_count(),
+        "cpu_capped": cpu_capped,
     }
     return payload

@@ -46,6 +46,8 @@ from repro.hardware.machine import MachineConfig
 from repro.hardware.params import HardwareParams
 from repro.obs import (
     attach_flight_recorder,
+    load_jsonl,
+    open_artifact,
     render_fault_timeline,
     render_snapshot,
     snapshot_system,
@@ -132,7 +134,8 @@ def cmd_run(args) -> int:
             "events_dropped": recorder.events_dropped,
         }
         paths = write_telemetry(args.telemetry_out, recorder,
-                                platform.target, bench=bench)
+                                platform.target, bench=bench,
+                                compress=args.telemetry_compress)
         print(f"telemetry written   : {args.telemetry_out} "
               f"({', '.join(sorted(paths))})")
     return 0 if result.outputs_ok and result.jobs_failed == 0 else 1
@@ -147,7 +150,41 @@ def _run_traced(args):
     return platform.target, recorder, result
 
 
+def _trace_from_spans(args) -> int:
+    """Summarize a saved ``spans.jsonl`` / ``spans.jsonl.gz`` artifact.
+
+    Reads go through :func:`repro.obs.open_artifact`, so gzipped
+    telemetry (``--telemetry-compress``) loads exactly like plain files.
+    """
+    records = load_jsonl(args.from_spans)
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    counts = {}
+    for rec in records:
+        counts[rec["category"]] = counts.get(rec["category"], 0) + 1
+    print(f"{args.from_spans}: {len(spans)} spans, "
+          f"{len(events)} events")
+    print()
+    print("records by subsystem:")
+    for category in sorted(counts):
+        print(f"  {category:>10}: {counts[category]}")
+    by_name = {}
+    for span in spans:
+        entry = by_name.setdefault(span["name"], [0, 0])
+        entry[0] += 1
+        if span.get("end_ns") is not None:
+            entry[1] += span["end_ns"] - span["start_ns"]
+    print()
+    print("spans by name (count, total simulated time):")
+    for name in sorted(by_name):
+        count, total = by_name[name]
+        print(f"  {name:<22} {count:>7}  {total / 1e6:12.3f} ms")
+    return 0
+
+
 def cmd_trace(args) -> int:
+    if args.from_spans:
+        return _trace_from_spans(args)
     system, recorder, result = _run_traced(args)
     counts = recorder.counts_by_category()
     print(f"{args.workload} on {args.cells}-cell Hive "
@@ -280,7 +317,9 @@ def cmd_audit(args) -> int:
     if args.trace_out:
         from repro.obs.export import audit_to_chrome_trace
 
-        with open(args.trace_out, "w") as fh:
+        # open_artifact gzips transparently for .json.gz paths, so big
+        # propagation DAGs can ship compressed.
+        with open_artifact(args.trace_out, "w") as fh:
             json.dump(audit_to_chrome_trace(audit), fh, sort_keys=True)
             fh.write("\n")
         print(f"trace written       : {args.trace_out}", file=sys.stderr)
@@ -322,6 +361,10 @@ def cmd_micro(args) -> int:
 
 
 def cmd_inject(args) -> int:
+    if args.replay and not args.campaign:
+        print("error: --replay requires --campaign (it sweeps fault "
+              "seeds across campaign trials)", file=sys.stderr)
+        return 2
     if args.campaign:
         return _cmd_inject_campaign(args)
     telemetry = {"recorder": None, "system": None}
@@ -370,7 +413,8 @@ def cmd_inject(args) -> int:
             import os
             out_dir = os.path.join(args.telemetry_out, scenario)
             write_telemetry(out_dir, telemetry["recorder"],
-                            telemetry["system"])
+                            telemetry["system"],
+                            compress=args.telemetry_compress)
             print(f"   telemetry (last trial) written to {out_dir}")
     if args.telemetry_out:
         import os
@@ -396,7 +440,8 @@ def _cmd_inject_campaign(args) -> int:
                                   seed_base=args.seed, workers=workers,
                                   agreement=args.agreement,
                                   telemetry_dir=args.telemetry_out,
-                                  progress=args.progress)
+                                  progress=args.progress,
+                                  replay=args.replay)
     failures = len(payload.get("failures", []))
     for failure in payload.get("failures", []):
         print(f"FAILED trial {failure['scenario']!r} seed "
@@ -438,6 +483,16 @@ def _cmd_inject_campaign(args) -> int:
         print("error: --audit-out requested but the campaign produced "
               "no audit payload", file=sys.stderr)
         return 1
+    for scenario in sorted(payload.get("replay", {})):
+        row = payload["replay"][scenario]
+        print(f"replay streams {scenario}: base fault seed "
+              f"{row['base_fault_seed']}, {row['trace_rows']} trace rows")
+        for trial in row.get("trials", []):
+            div = trial.get("divergence_ns")
+            where = (f"diverges at {div / 1e6:.1f} ms "
+                     f"(identical prefix {trial['identical_prefix']} rows)"
+                     if div is not None else "identical stream")
+            print(f"   f{trial['fault_seed']}: {where}")
     par = payload["parallel"]
     print(f"campaign: {par['shards']} trials on "
           f"{par['effective_workers']}/{par['workers']} workers "
@@ -473,9 +528,27 @@ def cmd_bench(args) -> int:
 
     names = list(CONFIGS) if args.config == "all" else [args.config]
     shards = args.shards if args.shards is not None else shards_from_env()
+    replay_logs = None
+    if args.replay:
+        from repro.sim.oplog import load_oplogs
+
+        if args.parallel > 1:
+            print("error: --replay runs in-process; drop --parallel "
+                  "(the recorded logs do not ship to pool workers)",
+                  file=sys.stderr)
+            return 2
+        replay_logs = load_oplogs(args.replay)
+        missing = [n for n in names if n not in replay_logs]
+        if missing:
+            print(f"error: {args.replay} has no trace for "
+                  f"{', '.join(missing)} (recorded: "
+                  f"{', '.join(sorted(replay_logs))})", file=sys.stderr)
+            return 2
     mode = (f"{args.parallel} workers" if args.parallel > 1 else "serial")
     if shards:
         mode += f", {shards} shards"
+    if replay_logs is not None:
+        mode += f", replaying {args.replay}"
     print(f"throughput bench: {', '.join(names)} (seed {args.seed}, "
           f"best of {args.repeats}, {mode})")
     if args.parallel > 1:
@@ -485,7 +558,9 @@ def cmd_bench(args) -> int:
                                      progress=args.progress)
     else:
         payload = run_suite(names, seed=args.seed, repeats=args.repeats,
-                            shards=shards)
+                            shards=shards, replay_logs=replay_logs)
+    if replay_logs is not None:
+        payload["replay_source"] = args.replay
     failed = bool(payload.get("failures"))
     for failure in payload.get("failures", []):
         print(f"FAILED shard {failure['config']!r} repeat "
@@ -700,10 +775,76 @@ def cmd_bench(args) -> int:
         }
         print(f"deterministic counters rpc fast vs slow: "
               f"{'MATCH' if rpc_match else 'MISMATCH'}")
+    if args.record:
+        from repro.bench.throughput import record_traces
+        from repro.sim.oplog import save_oplogs
+
+        print(f"recording op traces: {', '.join(names)} -> {args.record}")
+        logs = record_traces(names, seed=args.seed)
+        save_oplogs(args.record, logs)
+        payload["record"] = {
+            "path": args.record,
+            "trace_rows": {name: len(log) for name, log in logs.items()},
+        }
+        for name in names:
+            print(f"{name:>7}: {len(logs[name])} rows recorded")
+    replay_match = True
+    if args.compare_replay:
+        from repro.bench.throughput import compare_replay
+
+        print("replay equivalence run (trace replay vs live)...")
+        compare = {}
+        for name in names:
+            result = compare_replay(name, seed=args.seed,
+                                    shards=shards or 0)
+            if not result["match"]:
+                replay_match = False
+                print(f"COUNTER MISMATCH (replay vs live) in {name!r}: "
+                      f"{sorted(result['mismatches'])}", file=sys.stderr)
+            compare[name] = result
+            print(f"{name:>7}: "
+                  f"{result['replay_events_per_sec']:>12,.0f} events/sec "
+                  f"replayed  "
+                  f"{result['live_events_per_sec']:>12,.0f} live  "
+                  f"({result['replayed_from_trace']} wakeups from trace, "
+                  f"{result['fallback_wakeups']} live fallbacks)")
+        payload["replay_compare"] = {
+            "counters_match": replay_match,
+            "shards": shards or 0,
+            "results": compare,
+        }
+        print(f"deterministic counters replay vs live: "
+              f"{'MATCH' if replay_match else 'MISMATCH'}")
+    sweep_match = True
+    if args.sweep_faults:
+        from repro.bench.throughput import run_replay_sweep
+
+        print(f"fault-schedule sweep: record once, replay "
+              f"{args.sweep_faults} moved-fault trials per config...")
+        sweeps = {}
+        for name in names:
+            sweep = run_replay_sweep(name, trials=args.sweep_faults,
+                                     seed=args.seed, shards=shards or 0,
+                                     repeats=args.repeats)
+            if not sweep["counters_match"]:
+                sweep_match = False
+                print(f"COUNTER MISMATCH (sweep replay vs live) in "
+                      f"{name!r}", file=sys.stderr)
+            sweeps[name] = sweep
+            print(f"{name:>7}: replay "
+                  f"{sweep['replay_events_per_sec_mean']:>12,.0f} "
+                  f"events/sec vs live "
+                  f"{sweep['live_events_per_sec_mean']:>12,.0f} -> "
+                  f"{sweep['speedup_mean']}x over {sweep['trials']} "
+                  f"moved faults")
+        payload["replay_sweep"] = sweeps
+        print(f"deterministic counters sweep replay vs live: "
+              f"{'MATCH' if sweep_match else 'MISMATCH'}")
     write_bench_file(args.out, payload)
     print(f"bench written       : {args.out}")
     return 1 if (failed or not counters_match or not wheel_match
-                 or not rpc_match or not shard_match) else 0
+                 or not rpc_match or not shard_match
+                 or not replay_match or not sweep_match) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -720,6 +861,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write machine-readable telemetry "
                             "(spans.jsonl, trace.json, metrics.json, "
                             "timeline.txt, BENCH_pr2.json) into DIR")
+        p.add_argument("--telemetry-compress", action="store_true",
+                       help="gzip the stream artifacts "
+                            "(spans.jsonl.gz, trace.json.gz); readers "
+                            "like 'repro trace --from-spans' decompress "
+                            "transparently")
 
     def hive_config(p):
         p.add_argument("--cells", type=int, default=4)
@@ -742,7 +888,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace", help="run a workload under the flight recorder and "
                       "print the span summary + timeline")
-    p_trace.add_argument("workload", choices=sorted(WORKLOADS))
+    p_trace.add_argument("workload", nargs="?", default="pmake",
+                         choices=sorted(WORKLOADS))
+    p_trace.add_argument("--from-spans", metavar="FILE", default=None,
+                         help="summarize a saved spans.jsonl (or "
+                              "spans.jsonl.gz — decompressed "
+                              "transparently) instead of running a "
+                              "workload")
     hive_config(p_trace)
     common(p_trace)
     p_trace.set_defaults(fn=cmd_trace, irix=False, wax=False)
@@ -775,6 +927,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_inject.add_argument("--campaign", action="store_true",
                           help="shard trials across a process pool and "
                                "merge the per-trial payloads")
+    p_inject.add_argument("--replay", action="store_true",
+                          help="with --campaign: fix the workload seed "
+                               "and sweep only the fault seed; each "
+                               "trial records its op trace and the "
+                               "merge reports where every stream "
+                               "diverges from trial 0's")
     p_inject.add_argument("--parallel", type=int, default=2, metavar="N",
                           help="worker processes for --campaign "
                                "(default: 2)")
@@ -822,8 +980,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--config",
                          choices=["small", "medium", "large", "all"],
                          default="all")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr8.json",
-                         help="output JSON path (default: BENCH_pr8.json)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr9.json",
+                         help="output JSON path (default: BENCH_pr9.json)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="runs per config; the fastest is kept "
                               "(default: 3)")
@@ -857,6 +1015,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also measure events/s at shard counts "
                               "1/2/4 vs the sequential engine and "
                               "record the scaling table")
+    p_bench.add_argument("--record", metavar="FILE", default=None,
+                         help="also record each config's op trace into "
+                              "one compressed .npz archive, replayable "
+                              "via --replay")
+    p_bench.add_argument("--replay", metavar="FILE", default=None,
+                         help="run the suite as a trace replay of the "
+                              "archive recorded with --record (serial "
+                              "only; counters stay byte-identical to "
+                              "live runs)")
+    p_bench.add_argument("--compare-replay", action="store_true",
+                         help="record each config, replay the trace, "
+                              "and verify the deterministic counters "
+                              "and channel digests match byte-for-byte")
+    p_bench.add_argument("--sweep-faults", type=int, default=0,
+                         metavar="N",
+                         help="record once per config, then run N "
+                              "moved-fault trials both live and "
+                              "replayed; gates counter equivalence and "
+                              "records the replay speedup")
     p_bench.add_argument("--progress", action="store_true",
                          help="print a heartbeat line (shard i/N, "
                               "sim-time, events/s) per completed "

@@ -8,6 +8,9 @@ from repro.obs.availability import (
 )
 from repro.obs.export import (
     audit_to_chrome_trace,
+    load_json,
+    load_jsonl,
+    open_artifact,
     render_fault_timeline,
     to_chrome_trace,
     to_jsonl,
@@ -55,7 +58,10 @@ __all__ = [
     "audit_to_chrome_trace",
     "availability_from_dicts",
     "availability_report",
+    "load_json",
+    "load_jsonl",
     "maybe_attach_watchdog",
+    "open_artifact",
     "merge_audits",
     "merge_availability",
     "merge_tier_snapshots",

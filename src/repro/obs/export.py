@@ -18,6 +18,7 @@ optional ``BENCH_pr2.json`` summary) into one directory.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 from typing import Any, Dict, List, Optional
@@ -28,6 +29,32 @@ from repro.obs.recorder import FlightRecorder
 
 def _json_line(payload: Dict[str, Any]) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def open_artifact(path: str, mode: str = "r"):
+    """Open a telemetry artifact, gzipping transparently by extension.
+
+    A ``.gz`` suffix (``spans.jsonl.gz``, ``trace.json.gz``) routes
+    through :mod:`gzip` in text mode; anything else is a plain file.
+    Writers and readers share this helper, so every artifact the
+    exporters emit can be read back with the same call regardless of
+    compression.
+    """
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode)
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a (possibly gzipped) JSONL artifact back into dicts."""
+    with open_artifact(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def load_json(path: str) -> Any:
+    """Read a (possibly gzipped) JSON artifact."""
+    with open_artifact(path) as fh:
+        return json.load(fh)
 
 
 def to_jsonl(recorder: FlightRecorder) -> str:
@@ -338,18 +365,25 @@ def write_bench_summary(path: str, payload: Dict[str, Any]) -> None:
 
 def write_telemetry(out_dir: str, recorder: FlightRecorder, system,
                     bench: Optional[Dict[str, Any]] = None,
-                    ) -> Dict[str, str]:
-    """Write every telemetry artifact into ``out_dir``; returns paths."""
+                    compress: bool = False) -> Dict[str, str]:
+    """Write every telemetry artifact into ``out_dir``; returns paths.
+
+    ``compress`` gzips the two line/stream artifacts (``spans.jsonl.gz``
+    and ``trace.json.gz``) — the ones that grow with simulated time —
+    while the small snapshots stay plain.  Readers go through
+    :func:`open_artifact`, so both forms load identically.
+    """
     os.makedirs(out_dir, exist_ok=True)
+    gz = ".gz" if compress else ""
     paths = {
-        "spans": os.path.join(out_dir, "spans.jsonl"),
-        "trace": os.path.join(out_dir, "trace.json"),
+        "spans": os.path.join(out_dir, "spans.jsonl" + gz),
+        "trace": os.path.join(out_dir, "trace.json" + gz),
         "metrics": os.path.join(out_dir, "metrics.json"),
         "timeline": os.path.join(out_dir, "timeline.txt"),
     }
-    with open(paths["spans"], "w") as fh:
+    with open_artifact(paths["spans"], "w") as fh:
         fh.write(to_jsonl(recorder))
-    with open(paths["trace"], "w") as fh:
+    with open_artifact(paths["trace"], "w") as fh:
         json.dump(to_chrome_trace(recorder, system), fh, sort_keys=True)
         fh.write("\n")
     with open(paths["metrics"], "w") as fh:

@@ -42,6 +42,8 @@ import heapq
 import os
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.sim.engine import Event, Simulator
 
 
@@ -87,7 +89,9 @@ class ShardedChain:
     """
 
     __slots__ = ("lane", "engine", "coh", "cpu", "cycle", "gap",
-                 "period", "parks", "replayed_wakeups", "home_nodes")
+                 "period", "parks", "replayed_wakeups", "home_nodes",
+                 "_gen_nodes", "_peek_key", "_peek_global",
+                 "_peek_lats", "_peek_clean")
 
     def __init__(self, lane: "ShardLane", coh, cpu: int, cycle: list,
                  gap: int):
@@ -108,6 +112,86 @@ class ShardedChain:
         for batch in cycle:
             homes.update(batch.home_nodes)
         self.home_nodes = frozenset(homes)
+        #: the same set as an ordered list, for the node-local
+        #: generation fingerprint the peek cache is keyed on.
+        self._gen_nodes = sorted(homes)
+        self._peek_key: Optional[tuple] = None
+        self._peek_global: Optional[tuple] = None
+        self._peek_lats: Optional[np.ndarray] = None
+        self._peek_clean = False
+
+    def _gen_key(self) -> tuple:
+        """The cache key: fault generation + this chain's node gens.
+
+        Node-local on purpose — kernel traffic churns the machine-global
+        ``mutation_gen`` constantly, but only a mutation homed on one of
+        *this chain's* nodes can touch the validity of its cycle memos.
+        """
+        coh = self.coh
+        return (coh.memory.fault_gen, coh.memo_gen_key(self._gen_nodes))
+
+    def _peek_fresh(self) -> bool:
+        """Is the cached cycle scan provably current?
+
+        Two-level check, cheapest first: while the machine-global
+        ``(mutation_gen, fault_gen)`` pair has not moved since the cache
+        was built, *nothing* anywhere mutated, so the node-local key
+        cannot have moved either — two int compares, no tuple build.
+        Only when the global pair advanced (some mutation happened,
+        probably on someone else's nodes) is the node-local fingerprint
+        rebuilt and compared; a match refreshes the global stamp.
+        """
+        if self._peek_key is None:
+            return False
+        coh = self.coh
+        g = (coh.mutation_gen, coh.memory.fault_gen)
+        if g == self._peek_global:
+            return True
+        if self._gen_key() == self._peek_key:
+            self._peek_global = g
+            return True
+        return False
+
+    def cycle_peek_lats(self) -> np.ndarray:
+        """Per-slot memo latencies (-1 = stale), cached on the fault
+        generation and the chain's node-local directory generations.
+
+        Sound because a *valid* memo cannot change or invalidate while
+        the key stands still: every directory mutation bumps the home
+        node of the mutated line, every node fail / revive / cutoff
+        bumps ``PhysicalMemory.fault_gen``.  A stale slot may silently
+        become valid within one key (an all-hit real access rebuilds
+        its memo without a directory mutation), so -1 entries are
+        conservative, never wrong.
+        """
+        if not self._peek_fresh():
+            coh = self.coh
+            cpu = self.cpu
+            peek = coh.peek_memo
+            lats = [0] * self.period
+            clean = True
+            for i, batch in enumerate(self.cycle):
+                p = peek(cpu, batch)
+                if p is None:
+                    lats[i] = -1
+                    clean = False
+                else:
+                    lats[i] = p[0]
+            self._peek_lats = np.asarray(lats, dtype=np.int64)
+            self._peek_clean = clean
+            self._peek_key = self._gen_key()
+            self._peek_global = (coh.mutation_gen, coh.memory.fault_gen)
+        return self._peek_lats
+
+    def invalidate_peeks(self) -> None:
+        """Drop the peek cache after this chain takes the live path.
+
+        An all-hit live access rebuilds its batch's memo *without* a
+        directory mutation (nothing observable changed), so the
+        generation key alone would keep reporting the slot stale.
+        """
+        self._peek_key = None
+        self._peek_global = None
 
     def is_clean(self) -> bool:
         """Is this chain's *entire* cycle a provable memo replay?
@@ -118,7 +202,15 @@ class ShardedChain:
         the real access path (and really miss) at some wakeup, so its
         next due acts as a conservative mutation barrier for
         overlapping chains.
+
+        Answered from the peek cache while its node-local key stands
+        (replay runs hit this constantly); otherwise the original
+        early-exit loop — a stale first batch beats a full cycle scan
+        on mutation-heavy live runs, and the loop never pays to build
+        the cache.
         """
+        if self._peek_fresh():
+            return self._peek_clean
         coh = self.coh
         cpu = self.cpu
         for batch in self.cycle:

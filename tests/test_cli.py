@@ -50,12 +50,16 @@ class TestParser:
             ["metrics", "raytrace", "--format", "json"])
         assert args.format == "json"
 
-    def test_bench_defaults_to_pr8_out(self):
+    def test_bench_defaults_to_pr9_out(self):
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_pr8.json"
+        assert args.out == "BENCH_pr9.json"
         assert not args.progress
         assert args.shards is None  # falls back to HIVE_SHARDS
         assert args.compare_shards == 0
+        assert args.record is None
+        assert args.replay is None
+        assert not args.compare_replay
+        assert args.sweep_faults == 0
         assert not args.shard_scaling
 
     def test_report_defaults(self):
