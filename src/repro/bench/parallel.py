@@ -33,11 +33,18 @@ from repro.bench.faultexp import (
     FaultExperimentRunner,
     FaultTrialResult,
     ScenarioSummary,
+    boot_faultexp_system,
 )
-from repro.bench.throughput import BENCH_SCHEMA, CONFIGS, run_throughput
+from repro.bench.throughput import (
+    BENCH_SCHEMA,
+    CONFIGS,
+    run_throughput,
+    run_throughput_forked,
+)
 from repro.obs.availability import merge_availability
 from repro.obs.profile import merge_tier_snapshots
 from repro.obs.provenance import merge_audits
+from repro.sim.snapshot import SystemImage, snapshot_enabled
 
 
 class CampaignError(RuntimeError):
@@ -126,11 +133,17 @@ def _warn_cpu_cap(workers: int, procs: int) -> bool:
 # -- throughput bench campaign ---------------------------------------------
 
 
-def _bench_shard_worker(shard: Tuple[str, int, int, Optional[bool]]) -> dict:
+def _bench_shard_worker(shard: Tuple[str, int, int, Optional[bool],
+                                     bool]) -> dict:
     """One (config, seed, repeat) cell; runs in a pool worker process."""
-    config, seed, repeat, batch = shard
+    config, seed, repeat, batch, snapshot = shard
     try:
-        row = run_throughput(config, seed=seed, batch=batch)
+        if snapshot:
+            # One image per (config, seed) per worker process; repeats
+            # fork from it instead of re-booting.
+            row = run_throughput_forked(config, seed=seed, batch=batch)
+        else:
+            row = run_throughput(config, seed=seed, batch=batch)
         return {"status": "ok", "config": config, "seed": seed,
                 "repeat": repeat, "row": row}
     except Exception:
@@ -202,7 +215,8 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
                        seed: int = 1995, repeats: int = 1,
                        workers: int = 2,
                        batch: Optional[bool] = None,
-                       progress: bool = False) -> dict:
+                       progress: bool = False,
+                       snapshot: bool = False) -> dict:
     """Shard the throughput suite across a process pool and merge.
 
     Returns the merged ``run_suite``-shaped payload plus a
@@ -214,7 +228,7 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
     """
     names = list(configs) if configs else list(CONFIGS)
     repeats = max(1, repeats)
-    shards = [(name, seed, r, batch)
+    shards = [(name, seed, r, batch, snapshot)
               for name in names for r in range(repeats)]
     # Longest shards first so the big config doesn't trail the pool.
     shards.sort(key=lambda s: CONFIGS[s[0]].num_nodes
@@ -241,7 +255,12 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
     # order so every derived payload is byte-stable for a given seed.
     raw.sort(key=lambda s: (s["config"], s["repeat"]))
     payload = merge_bench_shards(raw, seed=seed, repeats=repeats)
-    shard_walls = [s["row"]["wall_s"] + s["row"]["boot_wall_s"]
+    # Per-shard setup cost: a fresh boot, or (forked shards) the fork
+    # wall — the amortization --snapshot buys shows up right here.
+    shard_walls = [s["row"]["wall_s"]
+                   + (s["row"].get("fork_wall_s", 0.0)
+                      if s["row"].get("snapshot") == "fork"
+                      else s["row"]["boot_wall_s"])
                    for s in raw if s["status"] == "ok"]
     payload["parallel"] = {
         "workers": workers,
@@ -258,9 +277,74 @@ def run_bench_campaign(configs: Optional[List[str]] = None,
 # -- fault-injection campaign ----------------------------------------------
 
 
+#: per-worker-process snapshot images, one per agreement protocol; a
+#: campaign forks every trial from its worker's image instead of booting.
+_WORKER_IMAGES: Dict[str, SystemImage] = {}
+
+
+def _faultexp_image(agreement: str) -> SystemImage:
+    image = _WORKER_IMAGES.get(agreement)
+    if image is None or image.closed:
+        image = SystemImage(boot_faultexp_system, agreement, 0,
+                            name=f"campaign-{agreement}")
+        _WORKER_IMAGES[agreement] = image
+    return image
+
+
+def _trial_payload(system, scenario: str, seed: int,
+                   fault_seed: Optional[int], agreement: str,
+                   telemetry_dir: Optional[str], capture: bool) -> dict:
+    """Attach observers, run one trial on a booted system, collect.
+
+    Module-level so it can cross a :class:`SystemImage` request pipe:
+    the same body serves fresh-boot shards (called in-process) and
+    snapshot shards (called inside the forked child, where the
+    observer attachment must happen — a fork inherits the *unobserved*
+    image, so attaching here is what keeps telemetry from silently
+    depending on a fresh boot).
+    """
+    from repro.obs import (attach_flight_recorder, attach_provenance,
+                           availability_report, maybe_attach_watchdog,
+                           tier_snapshot)
+
+    recorder = attach_flight_recorder(system)
+    # Provenance hooks are inert until a fault fires, so every
+    # campaign trial carries a containment audit for free.
+    tracer = attach_provenance(system)
+    watchdog = maybe_attach_watchdog(system)
+
+    wall0 = time.perf_counter()
+    runner = FaultExperimentRunner(agreement=agreement)
+    trial = runner.run_trial_on(system, scenario, seed,
+                                fault_seed=fault_seed)
+    wall_s = time.perf_counter() - wall0
+    out: dict = {"status": "ok", "scenario": scenario, "seed": seed,
+                 "fault_seed": fault_seed, "trial": trial.to_dict()}
+    out["availability"] = availability_report(recorder, system)
+    out["tiers"] = tier_snapshot(system)
+    out["audit"] = tracer.audit_report()
+    if watchdog is not None:
+        out["watchdog"] = watchdog.report()
+    out["heartbeat"] = {"sim_ms": system.sim.now / 1e6,
+                        "events": system.sim.events_processed,
+                        "wall_s": round(wall_s, 4)}
+    if capture:
+        from repro.sim.oplog import oplog_from_recorder
+        out["oplog"] = oplog_from_recorder(recorder.events).to_jsonable()
+    if telemetry_dir:
+        from repro.obs import write_telemetry
+        shard_dir = os.path.join(
+            telemetry_dir,
+            f"{scenario}-{seed}" if fault_seed is None
+            else f"{scenario}-{seed}-f{fault_seed}")
+        write_telemetry(shard_dir, recorder, system)
+        out["telemetry_dir"] = shard_dir
+    return out
+
+
 def _inject_shard_worker(
         shard: Tuple[str, int, Optional[int], str, Optional[str],
-                     bool]) -> dict:
+                     bool, bool]) -> dict:
     """One (scenario, seed, fault_seed) trial; runs in a pool worker.
 
     Every trial records a flight recorder (the spans are deterministic
@@ -270,52 +354,30 @@ def _inject_shard_worker(
     and per-cell availability even when no telemetry dir was requested.
     ``capture`` additionally ships the trial's columnar event stream
     (replay campaigns diff every trial against trial 0 at merge time).
+    ``snapshot`` forks the trial's system from the worker's image
+    instead of booting (falling back to a boot per trial when
+    ``HIVE_SNAPSHOT=0``); the golden contract keeps either path
+    byte-identical, and ``out["setup"]`` records which was paid.
     """
-    scenario, seed, fault_seed, agreement, telemetry_dir, capture = shard
+    (scenario, seed, fault_seed, agreement, telemetry_dir, capture,
+     snapshot) = shard
     try:
-        from repro.obs import (attach_flight_recorder, attach_provenance,
-                               availability_report, maybe_attach_watchdog,
-                               tier_snapshot)
-
-        telemetry = {}
-
-        def on_boot(system) -> None:
-            telemetry["recorder"] = attach_flight_recorder(system)
-            # Provenance hooks are inert until a fault fires, so every
-            # campaign trial carries a containment audit for free.
-            telemetry["tracer"] = attach_provenance(system)
-            telemetry["watchdog"] = maybe_attach_watchdog(system)
-            telemetry["system"] = system
-
-        wall0 = time.perf_counter()
-        runner = FaultExperimentRunner(agreement=agreement, on_boot=on_boot)
-        trial = runner.run_trial(scenario, seed, fault_seed=fault_seed)
-        wall_s = time.perf_counter() - wall0
-        out: dict = {"status": "ok", "scenario": scenario, "seed": seed,
-                     "fault_seed": fault_seed, "trial": trial.to_dict()}
-        system = telemetry.get("system")
-        recorder = telemetry.get("recorder")
-        if system is not None:
-            out["availability"] = availability_report(recorder, system)
-            out["tiers"] = tier_snapshot(system)
-            out["audit"] = telemetry["tracer"].audit_report()
-            if telemetry.get("watchdog") is not None:
-                out["watchdog"] = telemetry["watchdog"].report()
-            out["heartbeat"] = {"sim_ms": system.sim.now / 1e6,
-                                "events": system.sim.events_processed,
-                                "wall_s": round(wall_s, 4)}
-        if capture and recorder is not None:
-            from repro.sim.oplog import oplog_from_recorder
-            out["oplog"] = oplog_from_recorder(
-                recorder.events).to_jsonable()
-        if telemetry_dir and recorder is not None:
-            from repro.obs import write_telemetry
-            shard_dir = os.path.join(
-                telemetry_dir,
-                f"{scenario}-{seed}" if fault_seed is None
-                else f"{scenario}-{seed}-f{fault_seed}")
-            write_telemetry(shard_dir, recorder, system)
-            out["telemetry_dir"] = shard_dir
+        if snapshot and snapshot_enabled():
+            image = _faultexp_image(agreement)
+            out = image.run(_trial_payload, scenario, seed, fault_seed,
+                            agreement, telemetry_dir, capture, seed=seed)
+            out["setup"] = {"mode": "fork",
+                            "setup_wall_s": image.fork_wall_s_last,
+                            "boot_wall_s": image.boot_wall_s}
+        else:
+            wall0 = time.perf_counter()
+            system = boot_faultexp_system(agreement, seed)
+            boot_wall = time.perf_counter() - wall0
+            out = _trial_payload(system, scenario, seed, fault_seed,
+                                 agreement, telemetry_dir, capture)
+            out["setup"] = {"mode": "boot",
+                            "setup_wall_s": boot_wall,
+                            "boot_wall_s": boot_wall}
         return out
     except Exception:
         return {"status": "error", "scenario": scenario, "seed": seed,
@@ -453,7 +515,8 @@ def run_inject_campaign(scenarios: List[str], trials: int,
                         agreement: str = "oracle",
                         telemetry_dir: Optional[str] = None,
                         progress: bool = False,
-                        replay: bool = False) -> dict:
+                        replay: bool = False,
+                        snapshot: bool = False) -> dict:
     """Shard Table 7.4 trials across a process pool and merge.
 
     Each trial is one shard — the slowest scenario (sw_cow_tree) runs
@@ -467,14 +530,21 @@ def run_inject_campaign(scenarios: List[str], trials: int,
     (identical-prefix length, divergence time).  Composes with any
     worker count — the streams are diffed at merge time, so no shard
     depends on another's output.
+
+    ``snapshot`` forks each trial's system from a per-worker
+    :class:`SystemImage` instead of booting it fresh — the campaign
+    amortizes boot entirely, and the merged payload's ``"snapshot"``
+    section records per-trial setup wall vs the fresh-boot wall it
+    replaced (``amortization_x``).  Counters stay byte-identical
+    either way (the snapshot golden contract).
     """
     if replay:
         shards = [(scenario, seed_base, seed_base + i, agreement,
-                   telemetry_dir, True)
+                   telemetry_dir, True, snapshot)
                   for scenario in scenarios for i in range(trials)]
     else:
         shards = [(scenario, seed_base + i, None, agreement,
-                   telemetry_dir, False)
+                   telemetry_dir, False, snapshot)
                   for scenario in scenarios for i in range(trials)]
     # The historically slowest scenarios first (paper latency order).
     slow = {s: PAPER_TABLE_7_4[s][2] for s in PAPER_TABLE_7_4}
@@ -505,6 +575,24 @@ def run_inject_campaign(scenarios: List[str], trials: int,
     raw.sort(key=lambda s: (s["scenario"], s["seed"],
                             s.get("fault_seed") or -1))
     payload = merge_inject_shards(raw)
+    setups = [s["setup"] for s in raw
+              if s.get("status") == "ok" and s.get("setup")]
+    if setups:
+        setup_walls = [s["setup_wall_s"] for s in setups]
+        boot_walls = [s["boot_wall_s"] for s in setups]
+        mean_setup = sum(setup_walls) / len(setup_walls)
+        mean_boot = sum(boot_walls) / len(boot_walls)
+        payload["snapshot"] = {
+            "requested": snapshot,
+            "mode": ("fork" if any(s["mode"] == "fork" for s in setups)
+                     else "boot"),
+            "trials": len(setups),
+            "setup_wall_s_mean": round(mean_setup, 6),
+            "setup_wall_s_max": round(max(setup_walls), 6),
+            "boot_wall_s_mean": round(mean_boot, 6),
+            "amortization_x": (round(mean_boot / mean_setup, 2)
+                               if mean_setup > 0 else None),
+        }
     payload["parallel"] = {
         "workers": workers,
         "effective_workers": procs,

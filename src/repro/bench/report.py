@@ -413,6 +413,68 @@ def _trajectory_lines(trajectory: List[Dict[str, Any]],
     return lines
 
 
+def _snapshot_lines(payload: Dict[str, Any]) -> List[str]:
+    """Boot-amortization section from a bench payload's snapshot
+    equivalence run (``repro bench --compare-snapshot``)."""
+    lines = ["## Snapshot-fork amortization", ""]
+    compare = payload.get("snapshot_compare") or {}
+    results = compare.get("results") or {}
+    if results:
+        match = "MATCH" if compare.get("counters_match") else "MISMATCH"
+        lines.append(f"Forked vs fresh-boot counters: **{match}**.")
+        lines.append("")
+        lines.append("| config | boot (s) | fork (ms) | amortization | "
+                     "mode |")
+        lines.append("|---|---:|---:|---:|---|")
+        for name in sorted(results):
+            row = results[name]
+            lines.append(
+                f"| {name} | {row['boot_wall_s']:.3f} "
+                f"| {row['fork_wall_s'] * 1000:.1f} "
+                f"| {row['amortization_x']}x | {row['mode']} |")
+    campaign = payload.get("snapshot_campaign") or {}
+    if campaign:
+        lines.append("")
+        lines.append(
+            f"Campaign per-trial setup ({campaign.get('mode', '?')}): "
+            f"{campaign.get('setup_wall_s_mean', 0) * 1000:.1f} ms vs "
+            f"boot {campaign.get('boot_wall_s_mean', 0) * 1000:.1f} ms "
+            f"— {campaign.get('amortization_x', 0)}x over "
+            f"{campaign.get('trials', 0)} trial(s).")
+    return lines
+
+
+def _sessions_lines(sessions: Dict[str, Any]) -> List[str]:
+    """Session-traffic section from a bench payload's ``sessions`` row
+    (``repro bench --sessions`` / ``repro sessions --out``)."""
+    lines = ["## Session traffic (open loop)", ""]
+    lines.append(
+        f"- {sessions.get('sessions', 0):,} sessions generated at "
+        f"{sessions.get('sessions_per_sec', 0):,.0f} sessions/s wall "
+        f"({sessions.get('cells', '?')} cells x "
+        f"{sessions.get('servers_per_cell', '?')} servers, seed "
+        f"{sessions.get('seed', '?')})")
+    lines.append(
+        f"- latency p50 {sessions.get('latency_p50_ms', 0):.3f} ms / "
+        f"p99 {sessions.get('latency_p99_ms', 0):.3f} ms / mean "
+        f"{sessions.get('latency_mean_ms', 0):.3f} ms")
+    lines.append(
+        f"- {sessions.get('completed', 0):,} completed, "
+        f"{sessions.get('lost', 0):,} lost over "
+        f"{sessions.get('faults', 0)} fault(s) -> "
+        f"{sessions.get('sessions_lost_per_fault', 0)} lost/fault")
+    by_type = sessions.get("by_type") or {}
+    if by_type:
+        parts = [f"{name} {by_type[name]:,}" for name in sorted(by_type)]
+        lines.append(f"- mix: {', '.join(parts)}")
+    if sessions.get("probes_launched"):
+        lines.append(
+            f"- kernel probe sessions: "
+            f"{sessions.get('probes_completed', 0)}/"
+            f"{sessions.get('probes_launched', 0)} completed")
+    return lines
+
+
 def render_campaign_report(payload: Dict[str, Any],
                            trajectory: Optional[List[Dict[str, Any]]]
                            = None) -> str:
@@ -445,6 +507,15 @@ def render_campaign_report(payload: Dict[str, Any],
     if trajectory is not None:
         lines += _trajectory_lines(trajectory)
         lines.append("")
+        if trajectory:
+            newest = trajectory[-1]["payload"]
+            if (newest.get("snapshot_compare")
+                    or newest.get("snapshot_campaign")):
+                lines += _snapshot_lines(newest)
+                lines.append("")
+            if newest.get("sessions"):
+                lines += _sessions_lines(newest["sessions"])
+                lines.append("")
     failures = payload.get("failures")
     if failures:
         lines.append(f"**{len(failures)} trial(s) FAILED** — see the "
@@ -527,4 +598,20 @@ def check_campaign_report(payload: Dict[str, Any],
                 f"(host-normalized) from {reg['baseline']['file']} to "
                 f"{reg['current']['file']} "
                 f"(threshold -{threshold * 100:.0f}%)")
+        # Newest bench file's snapshot/sessions sections (older files
+        # without them are a no-op, not a failure).
+        newest = trajectory[-1]["payload"]
+        compare = newest.get("snapshot_compare")
+        if compare and not compare.get("counters_match"):
+            problems.append(
+                f"{trajectory[-1]['file']}: snapshot-forked counters "
+                f"diverge from fresh-boot counters")
+        sessions = newest.get("sessions")
+        if sessions:
+            for key in ("latency_p50_ms", "latency_p99_ms",
+                        "sessions_per_sec"):
+                if not isinstance(sessions.get(key), (int, float)):
+                    problems.append(
+                        f"{trajectory[-1]['file']}: sessions section "
+                        f"missing {key}")
     return problems

@@ -27,10 +27,11 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.hive import boot_hive
+from repro.core.hive import HiveSystem, boot_hive
 from repro.hardware.machine import MachineConfig
 from repro.hardware.params import HardwareParams
 from repro.sim.engine import Simulator
+from repro.sim.snapshot import SystemImage, snapshot_enabled
 
 #: simulated quantities that must be identical between the fast and slow
 #: RPC paths (and across repeats) for one (config, seed)
@@ -93,24 +94,40 @@ def _client(cell, dst: int, cfg: RpcBenchConfig, counters: dict):
     return None
 
 
+def boot_rpc_system(config: str, seed: int = 1995,
+                    wheel: Optional[bool] = None) -> HiveSystem:
+    """Boot the RPC scenario's machine (module-level, image-bootable)."""
+    cfg = RPC_CONFIGS[config]
+    params = HardwareParams(num_nodes=cfg.num_nodes)
+    sim = Simulator(crash_on_process_error=False, wheel=wheel)
+    return boot_hive(sim, num_cells=cfg.num_cells,
+                     machine_config=MachineConfig(params=params,
+                                                  seed=seed))
+
+
 def run_rpc_bench(config: str, seed: int = 1995,
                   fast: Optional[bool] = None,
-                  wheel: Optional[bool] = None) -> dict:
+                  wheel: Optional[bool] = None,
+                  system: Optional[HiveSystem] = None,
+                  fork_wall_s: Optional[float] = None) -> dict:
     """Run the RPC scenario at one machine size; returns the result row.
 
     ``fast`` overrides the RPC fast path (None keeps the
     ``HIVE_RPC_FAST`` environment default); ``wheel`` likewise for the
     engine timer wheel.  The simulated counters are identical either
-    way — only wall clock changes.
+    way — only wall clock changes.  ``system`` runs against an
+    already-booted (snapshot-forked) system — ``boot_wall_s`` is then 0
+    and ``fork_wall_s`` records the fork cost the caller measured.
     """
     cfg = RPC_CONFIGS[config]
-    params = HardwareParams(num_nodes=cfg.num_nodes)
-    sim = Simulator(crash_on_process_error=False, wheel=wheel)
-    boot_wall0 = time.perf_counter()
-    system = boot_hive(sim, num_cells=cfg.num_cells,
-                       machine_config=MachineConfig(params=params,
-                                                    seed=seed))
-    boot_wall = time.perf_counter() - boot_wall0
+    if system is None:
+        boot_wall0 = time.perf_counter()
+        system = boot_rpc_system(config, seed=seed, wheel=wheel)
+        boot_wall = time.perf_counter() - boot_wall0
+    else:
+        boot_wall = 0.0
+    sim = system.sim
+    params = system.machine.params
     registry = system.registry
     cells = [registry.cell_object(c) for c in range(cfg.num_cells)]
     if fast is not None:
@@ -155,6 +172,7 @@ def run_rpc_bench(config: str, seed: int = 1995,
         "seed": seed,
         "clients": cfg.num_cells * cfg.clients_per_cell,
         "boot_wall_s": round(boot_wall, 4),
+        "fork_wall_s": round(fork_wall_s, 4) if fork_wall_s else 0.0,
         "wall_s": round(wall, 4),
         "round_trips": counters["round_trips"],
         "round_trips_per_sec": round(counters["round_trips"] / wall, 1),
@@ -189,14 +207,54 @@ def run_rpc_bench(config: str, seed: int = 1995,
     return row
 
 
+#: snapshot images for the RPC scenario, one per (config, wheel).
+_RPC_IMAGES: Dict[tuple, SystemImage] = {}
+
+
+def _forked_rpc_bench(system: HiveSystem, config: str,
+                      kwargs: dict) -> dict:
+    """Child-side RPC bench run (module-level: crosses the image pipe)."""
+    return run_rpc_bench(config, system=system, **kwargs)
+
+
+def run_rpc_bench_forked(config: str, seed: int = 1995,
+                         fast: Optional[bool] = None,
+                         wheel: Optional[bool] = None) -> dict:
+    """``run_rpc_bench`` against a snapshot fork instead of a fresh boot.
+
+    Same byte-identical counters; ``boot_wall_s`` becomes the image's
+    one-time boot and ``fork_wall_s`` the per-run fork.  Falls back to
+    a fresh boot per run under ``HIVE_SNAPSHOT=0``.
+    """
+    kwargs = dict(seed=seed, fast=fast)
+    if not snapshot_enabled():
+        row = run_rpc_bench(config, wheel=wheel, **kwargs)
+        row["fork_wall_s"] = row["boot_wall_s"]
+        row["snapshot"] = "boot"
+        return row
+    key = (config, wheel)
+    image = _RPC_IMAGES.get(key)
+    if image is None or image.closed:
+        image = SystemImage(boot_rpc_system, config, 1995, wheel,
+                            name=f"rpcbench-{config}")
+        _RPC_IMAGES[key] = image
+    row = image.run(_forked_rpc_bench, config, kwargs, seed=seed)
+    row["boot_wall_s"] = round(image.boot_wall_s, 4)
+    row["fork_wall_s"] = round(image.fork_wall_s_last, 4)
+    row["snapshot"] = "fork"
+    return row
+
+
 def run_rpc_suite(configs: Optional[List[str]] = None,
                   seed: int = 1995, repeats: int = 1,
                   fast: Optional[bool] = None,
-                  wheel: Optional[bool] = None) -> Dict[str, dict]:
+                  wheel: Optional[bool] = None,
+                  snapshot: bool = False) -> Dict[str, dict]:
     """Run the RPC scenario at the requested sizes, best-of-``repeats``.
 
     Repeats must agree on every :data:`RPC_DETERMINISTIC_KEYS` entry
     (verified, not assumed); the fastest repeat is the headline row.
+    ``snapshot`` forks each repeat from a per-config snapshot image.
     """
     names = list(configs) if configs else list(RPC_CONFIGS)
     results: Dict[str, dict] = {}
@@ -204,7 +262,8 @@ def run_rpc_suite(configs: Optional[List[str]] = None,
         best = None
         walls: List[float] = []
         for _ in range(max(1, repeats)):
-            row = run_rpc_bench(name, seed=seed, fast=fast, wheel=wheel)
+            runner = run_rpc_bench_forked if snapshot else run_rpc_bench
+            row = runner(name, seed=seed, fast=fast, wheel=wheel)
             walls.append(row["wall_s"])
             if best is None:
                 best = row

@@ -45,6 +45,7 @@ from repro.sim.engine import Simulator
 from repro.sim.oplog import OP_MEMO, OP_REAL, OP_RETIRE, OpLog
 from repro.sim.replay import ReplaySession, replay_from_env
 from repro.sim.shard import ShardEngine, plan_shards, shards_from_env
+from repro.sim.snapshot import SystemImage, snapshot_enabled
 
 BENCH_SCHEMA = "hive-throughput/v1"
 
@@ -64,6 +65,11 @@ SHARD_EQUIV_KEYS = (
 #: fallback attribution is the one counter that *says* which execution
 #: tier ran, exactly like ``shard`` metadata on sharded rows.)
 REPLAY_EQUIV_KEYS = SHARD_EQUIV_KEYS
+
+#: the HIVE_SNAPSHOT determinism contract: fork-then-run must match
+#: fresh-boot-then-run on the same counters (boot draws no RNG; a forked
+#: system is reseeded to the trial seed before it runs).
+SNAPSHOT_EQUIV_KEYS = SHARD_EQUIV_KEYS
 
 
 @dataclass(frozen=True)
@@ -243,6 +249,19 @@ def _sampler(sim: Simulator, cell, interval_ns: int, stop_ns: int,
     return None
 
 
+def boot_bench_system(config: str, seed: int = 1995,
+                      wheel: Optional[bool] = None) -> HiveSystem:
+    """Boot the throughput scenario's machine (module-level so a
+    :class:`repro.sim.snapshot.SystemImage` can host it)."""
+    cfg = CONFIGS[config]
+    params = HardwareParams(num_nodes=cfg.num_nodes,
+                            cpus_per_node=cfg.cpus_per_node)
+    sim = Simulator(crash_on_process_error=False, wheel=wheel)
+    return boot_hive(sim, num_cells=cfg.num_cells,
+                     machine_config=MachineConfig(params=params,
+                                                  seed=seed))
+
+
 def run_throughput(config: str, seed: int = 1995,
                    batch: Optional[bool] = None,
                    wheel: Optional[bool] = None,
@@ -250,7 +269,9 @@ def run_throughput(config: str, seed: int = 1995,
                    channels: Optional[bool] = None,
                    record: Optional[OpLog] = None,
                    replay: Optional[OpLog] = None,
-                   inject_ms: Optional[int] = None) -> dict:
+                   inject_ms: Optional[int] = None,
+                   system: Optional[HiveSystem] = None,
+                   fork_wall_s: Optional[float] = None) -> dict:
     """Run the fixed scenario at one machine size; returns the result row.
 
     ``batch`` overrides the coherence controller's batched access path
@@ -272,16 +293,23 @@ def run_throughput(config: str, seed: int = 1995,
     overrides the config's fault-injection time — the fault-schedule
     sweep's axis; everything before the moved fault replays, the
     affected chains fall back to live execution at the divergence.
+
+    ``system`` runs the scenario against an already-booted (snapshot-
+    forked) system instead of booting one — its boot cost was paid by
+    the image, so ``boot_wall_s`` is 0 and ``wheel`` is whatever the
+    system was booted with.  ``fork_wall_s`` records the fork cost the
+    caller measured for the row.
     """
     cfg = CONFIGS[config]
-    params = HardwareParams(num_nodes=cfg.num_nodes,
-                            cpus_per_node=cfg.cpus_per_node)
-    sim = Simulator(crash_on_process_error=False, wheel=wheel)
-    boot_wall0 = time.perf_counter()
-    system = boot_hive(sim, num_cells=cfg.num_cells,
-                       machine_config=MachineConfig(params=params,
-                                                    seed=seed))
-    boot_wall = time.perf_counter() - boot_wall0
+    if system is None:
+        boot_wall0 = time.perf_counter()
+        system = boot_bench_system(config, seed=seed, wheel=wheel)
+        boot_wall = time.perf_counter() - boot_wall0
+    else:
+        # Forked / caller-booted: the image paid the boot already.
+        boot_wall = 0.0
+    sim = system.sim
+    params = system.machine.params
     if batch is not None:
         system.machine.coherence.batch_enabled = batch
     if shards is None:
@@ -373,6 +401,7 @@ def run_throughput(config: str, seed: int = 1995,
         "seed": seed,
         "sim_ms": stop_ns / NS_PER_MS,
         "boot_wall_s": round(boot_wall, 4),
+        "fork_wall_s": round(fork_wall_s, 4) if fork_wall_s else 0.0,
         "wall_s": round(wall_s, 4),
         "recovery_wall_ms": round((wall_recovered - wall_inject) * 1e3, 3),
         "events": events,
@@ -397,6 +426,97 @@ def run_throughput(config: str, seed: int = 1995,
     if session is not None:
         row["replay"] = session.snapshot()
     return row
+
+
+#: snapshot images for the throughput scenario, one per (config, wheel).
+#: Forked runs reseed to the trial seed, so the boot seed never keys the
+#: cache — one image serves every seed of a config.
+_BENCH_IMAGES: Dict[tuple, SystemImage] = {}
+
+
+def bench_image(config: str, wheel: Optional[bool] = None) -> SystemImage:
+    """The (process-local) snapshot image for one throughput config."""
+    key = (config, wheel)
+    image = _BENCH_IMAGES.get(key)
+    if image is None or image.closed:
+        image = SystemImage(boot_bench_system, config, 1995, wheel,
+                            name=f"bench-{config}")
+        _BENCH_IMAGES[key] = image
+    return image
+
+
+def _forked_throughput(system: HiveSystem, config: str,
+                       kwargs: dict) -> dict:
+    """Child-side bench run (module-level so it crosses the image pipe)."""
+    return run_throughput(config, system=system, **kwargs)
+
+
+def run_throughput_forked(config: str, seed: int = 1995,
+                          batch: Optional[bool] = None,
+                          wheel: Optional[bool] = None,
+                          shards: Optional[int] = None,
+                          channels: Optional[bool] = None,
+                          replay: Optional[OpLog] = None,
+                          inject_ms: Optional[int] = None) -> dict:
+    """``run_throughput`` against a snapshot fork instead of a fresh boot.
+
+    The returned row is byte-identical on every simulated counter (the
+    golden contract); ``boot_wall_s`` becomes the image's one-time boot
+    and ``fork_wall_s`` the per-run fork cost it amortizes down to.
+    With ``HIVE_SNAPSHOT=0`` (or no ``os.fork``) this falls back to a
+    fresh boot per run, with ``fork_wall_s`` recording that boot —
+    i.e. no amortization, same results.
+    """
+    kwargs = dict(seed=seed, batch=batch, shards=shards,
+                  channels=channels, replay=replay, inject_ms=inject_ms)
+    if not snapshot_enabled():
+        row = run_throughput(config, wheel=wheel, **kwargs)
+        row["fork_wall_s"] = row["boot_wall_s"]
+        row["snapshot"] = "boot"
+        return row
+    image = bench_image(config, wheel=wheel)
+    row = image.run(_forked_throughput, config, kwargs, seed=seed)
+    row["boot_wall_s"] = round(image.boot_wall_s, 4)
+    row["fork_wall_s"] = round(image.fork_wall_s_last, 4)
+    row["snapshot"] = "fork"
+    return row
+
+
+def compare_snapshot(config: str, seed: int = 1995,
+                     shards: int = 0,
+                     replay_log: Optional[OpLog] = None) -> dict:
+    """The HIVE_SNAPSHOT equivalence gate for one config.
+
+    Runs the scenario twice — fresh-boot-then-run and fork-then-run —
+    with the channel recorder attached on both sides, and diffs every
+    key in :data:`SNAPSHOT_EQUIV_KEYS`.  ``shards``/``replay_log``
+    compose the comparison with the other execution tiers (both sides
+    get the same setting).  Returns ``match`` plus the amortization the
+    fork bought (fresh boot wall vs fork wall).
+    """
+    kwargs = dict(seed=seed, shards=shards, channels=True,
+                  replay=replay_log)
+    fresh = run_throughput(config, **kwargs)
+    forked = run_throughput_forked(config, **kwargs)
+    mismatches = {}
+    for key in SNAPSHOT_EQUIV_KEYS:
+        if fresh.get(key) != forked.get(key):
+            mismatches[key] = {"fresh": fresh.get(key),
+                               "forked": forked.get(key)}
+    fork_wall = forked["fork_wall_s"]
+    return {
+        "config": config,
+        "shards": shards,
+        "mode": forked.get("snapshot", "boot"),
+        "match": not mismatches,
+        "mismatches": mismatches,
+        "boot_wall_s": fresh["boot_wall_s"],
+        "fork_wall_s": fork_wall,
+        "amortization_x": (round(fresh["boot_wall_s"] / fork_wall, 2)
+                           if fork_wall > 0 else None),
+        "fresh_events_per_sec": fresh["events_per_sec"],
+        "forked_events_per_sec": forked["events_per_sec"],
+    }
 
 
 def _strip_replay_tiers(row: dict) -> dict:
@@ -587,7 +707,8 @@ def run_suite(configs: Optional[List[str]] = None,
               batch: Optional[bool] = None,
               wheel: Optional[bool] = None,
               shards: Optional[int] = None,
-              replay_logs: Optional[Dict[str, OpLog]] = None) -> dict:
+              replay_logs: Optional[Dict[str, OpLog]] = None,
+              snapshot: bool = False) -> dict:
     """Run the scenario at the requested sizes; returns the bench payload.
 
     With ``repeats > 1`` each config runs that many times and the
@@ -601,6 +722,8 @@ def run_suite(configs: Optional[List[str]] = None,
 
     ``replay_logs`` (per-config :class:`OpLog`, from ``repro bench
     --record``) runs each config as a trace replay instead of live.
+    ``snapshot`` boots each config once into a snapshot image and forks
+    every repeat from it (``fork_wall_s`` replaces the per-repeat boot).
     """
     names = list(configs) if configs else list(CONFIGS)
     results = {}
@@ -608,9 +731,10 @@ def run_suite(configs: Optional[List[str]] = None,
         best = None
         walls: List[float] = []
         for _ in range(max(1, repeats)):
-            row = run_throughput(name, seed=seed, batch=batch, wheel=wheel,
-                                 shards=shards,
-                                 replay=(replay_logs or {}).get(name))
+            runner = run_throughput_forked if snapshot else run_throughput
+            row = runner(name, seed=seed, batch=batch, wheel=wheel,
+                         shards=shards,
+                         replay=(replay_logs or {}).get(name))
             walls.append(row["wall_s"])
             if best is None:
                 best = row

@@ -377,6 +377,16 @@ def cmd_inject(args) -> int:
     runner = FaultExperimentRunner(
         agreement=args.agreement,
         on_boot=on_boot if args.telemetry_out else None)
+    if args.snapshot:
+        if args.telemetry_out:
+            # The telemetry recorder must live in this process; forked
+            # trials run in children, so the two are incompatible.
+            print("note: --snapshot ignored with --telemetry-out "
+                  "(recorder must observe trials in-process)")
+        else:
+            from repro.sim.snapshot import snapshot_enabled
+            if snapshot_enabled():
+                runner.make_image()
     scenarios = (list(ALL_SCENARIOS) if args.scenario == "all"
                  else [args.scenario])
     failures = 0
@@ -416,6 +426,13 @@ def cmd_inject(args) -> int:
                             telemetry["system"],
                             compress=args.telemetry_compress)
             print(f"   telemetry (last trial) written to {out_dir}")
+    if runner.image is not None and runner.image.forks:
+        stats = runner.image.stats()
+        fork_ms = stats["fork_wall_s_mean"] * 1000
+        boot = stats["boot_wall_s"]
+        amort = round(boot * 1000 / fork_ms, 1) if fork_ms else 0.0
+        print(f"snapshot forks: {stats['forks']} trials at "
+              f"{fork_ms:.1f} ms each vs {boot:.3f} s boot ({amort}x)")
     if args.telemetry_out:
         import os
         os.makedirs(args.telemetry_out, exist_ok=True)
@@ -441,7 +458,8 @@ def _cmd_inject_campaign(args) -> int:
                                   agreement=args.agreement,
                                   telemetry_dir=args.telemetry_out,
                                   progress=args.progress,
-                                  replay=args.replay)
+                                  replay=args.replay,
+                                  snapshot=args.snapshot)
     failures = len(payload.get("failures", []))
     for failure in payload.get("failures", []):
         print(f"FAILED trial {failure['scenario']!r} seed "
@@ -498,6 +516,12 @@ def _cmd_inject_campaign(args) -> int:
           f"{par['effective_workers']}/{par['workers']} workers "
           f"({par['cpu_count']} CPUs) in {par['campaign_wall_s']:.2f} s "
           f"wall")
+    snap = payload.get("snapshot")
+    if snap:
+        print(f"   per-trial setup ({snap['mode']}): "
+              f"{snap['setup_wall_s_mean'] * 1000:.1f} ms vs boot "
+              f"{snap['boot_wall_s_mean'] * 1000:.1f} ms "
+              f"({snap['amortization_x']}x over {snap['trials']} trials)")
     for telemetry_dir in payload.get("telemetry_dirs", []):
         print(f"   telemetry written to {telemetry_dir}")
     if args.telemetry_out:
@@ -509,6 +533,52 @@ def _cmd_inject_campaign(args) -> int:
         write_bench_summary(
             os.path.join(args.telemetry_out, "BENCH_pr2.json"), bench)
     return 1 if failures or uncontained or absorbed else 0
+
+
+def cmd_sessions(args) -> int:
+    from repro.workloads.sessions import SessionTrafficConfig, run_sessions
+
+    cfg = SessionTrafficConfig(
+        sessions=args.sessions, seed=args.seed,
+        interarrival=args.interarrival, service=args.service,
+        mean_interarrival_ns=args.mean_interarrival_ns,
+        mean_service_ns=args.mean_service_ns,
+        probe_every=args.probe_every, inject_ms=args.inject_ms,
+        victim_cell=args.victim_cell,
+        failover=not args.no_failover)
+    mode = "snapshot fork" if args.snapshot else "fresh boot"
+    print(f"session traffic: {cfg.sessions:,} open-loop sessions on "
+          f"{args.cells} cells / {args.nodes} nodes ({mode}, seed "
+          f"{cfg.seed})")
+    row = run_sessions(cfg, cells=args.cells, nodes=args.nodes,
+                       snapshot=args.snapshot)
+    print(f"{row['sessions_per_sec']:>12,.1f} sessions/sec "
+          f"({row['wall_s']:.2f} s wall, sim horizon "
+          f"{row['sim_horizon_ms']:.0f} ms)")
+    print(f"latency p50 {row['latency_p50_ms']:.3f} ms / p99 "
+          f"{row['latency_p99_ms']:.3f} ms / mean "
+          f"{row['latency_mean_ms']:.3f} ms")
+    print(f"completed {row['completed']:,} / lost {row['lost']:,} "
+          f"(+{row['lost_arrivals']:,} dead-cell arrivals) over "
+          f"{row['faults']} fault(s) -> "
+          f"{row['sessions_lost_per_fault']} lost/fault")
+    print(f"mix: " + "  ".join(f"{name}={count:,}"
+                               for name, count in row["by_type"].items()))
+    if row["probes_launched"]:
+        print(f"probes: {row['probes_completed']}/"
+              f"{row['probes_launched']} kernel probe sessions completed")
+    if row["coupling_accesses"]:
+        print(f"coupling: {row['coupling_accesses']:,} coherence "
+              f"accesses, {row['coupling_retired_cells']} client(s) "
+              f"retired by revocation")
+    if row.get("snapshot") == "fork":
+        print(f"setup: boot {row['boot_wall_s']:.3f} s once, fork "
+              f"{row['fork_wall_s'] * 1000:.1f} ms")
+    if args.out:
+        write_bench_summary(args.out, {"command": "sessions",
+                                       "sessions": row})
+        print(f"report written      : {args.out}")
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -549,16 +619,20 @@ def cmd_bench(args) -> int:
         mode += f", {shards} shards"
     if replay_logs is not None:
         mode += f", replaying {args.replay}"
+    if args.snapshot:
+        mode += ", snapshot forks"
     print(f"throughput bench: {', '.join(names)} (seed {args.seed}, "
           f"best of {args.repeats}, {mode})")
     if args.parallel > 1:
         payload = run_bench_campaign(names, seed=args.seed,
                                      repeats=args.repeats,
                                      workers=args.parallel,
-                                     progress=args.progress)
+                                     progress=args.progress,
+                                     snapshot=args.snapshot)
     else:
         payload = run_suite(names, seed=args.seed, repeats=args.repeats,
-                            shards=shards, replay_logs=replay_logs)
+                            shards=shards, replay_logs=replay_logs,
+                            snapshot=args.snapshot)
     if replay_logs is not None:
         payload["replay_source"] = args.replay
     failed = bool(payload.get("failures"))
@@ -579,6 +653,12 @@ def cmd_bench(args) -> int:
         print(f"         {row['events_per_sec']:>12,.0f} events/sec  "
               f"{row['accesses_per_sec']:>12,.0f} accesses/sec  "
               f"recovery {row['recovery_wall_ms']:.1f} ms wall")
+        if row.get("snapshot") == "fork":
+            boot = row["boot_wall_s"]
+            fork = row["fork_wall_s"]
+            amort = round(boot / fork, 1) if fork else 0.0
+            print(f"         boot amortized: {boot:.3f} s once, "
+                  f"{fork * 1000:.1f} ms per fork ({amort}x)")
         if not row["recovery_detected"]:
             print("         WARNING: fault was not detected/recovered")
     if args.parallel > 1:
@@ -746,9 +826,11 @@ def cmd_bench(args) -> int:
         print(f"rpc microbench: {', '.join(rpc_names)} "
               f"(best of {args.repeats})")
         fast_results = run_rpc_suite(rpc_names, seed=args.seed,
-                                     repeats=args.repeats, fast=True)
+                                     repeats=args.repeats, fast=True,
+                                     snapshot=args.snapshot)
         slow_results = run_rpc_suite(rpc_names, seed=args.seed,
-                                     repeats=args.repeats, fast=False)
+                                     repeats=args.repeats, fast=False,
+                                     snapshot=args.snapshot)
         slow_compare = {}
         for name in rpc_names:
             frow = fast_results[name]
@@ -840,11 +922,73 @@ def cmd_bench(args) -> int:
         payload["replay_sweep"] = sweeps
         print(f"deterministic counters sweep replay vs live: "
               f"{'MATCH' if sweep_match else 'MISMATCH'}")
+    snapshot_match = True
+    if args.compare_snapshot:
+        from repro.bench.throughput import compare_snapshot
+
+        print("snapshot equivalence run (forked vs fresh boot)...")
+        compare = {}
+        for name in names:
+            result = compare_snapshot(name, seed=args.seed,
+                                      shards=shards or 0)
+            if not result["match"]:
+                snapshot_match = False
+                print(f"COUNTER MISMATCH (forked vs boot) in {name!r}: "
+                      f"{sorted(result['mismatches'])}", file=sys.stderr)
+            compare[name] = result
+            print(f"{name:>7}: boot {result['boot_wall_s']:.3f} s vs "
+                  f"fork {result['fork_wall_s'] * 1000:.1f} ms "
+                  f"({result['amortization_x']}x, mode "
+                  f"{result['mode']})")
+        payload["snapshot_compare"] = {
+            "counters_match": snapshot_match,
+            "shards": shards or 0,
+            "results": compare,
+        }
+        print(f"deterministic counters forked vs boot: "
+              f"{'MATCH' if snapshot_match else 'MISMATCH'}")
+        # Campaign smoke: snapshot-forked trials must merge to the
+        # same payload a fresh-boot campaign produces, and the
+        # per-trial setup wall records the amortization.
+        from repro.bench.parallel import run_inject_campaign
+
+        print("snapshot campaign smoke (forked trials)...")
+        campaign = run_inject_campaign(["hw_process_creation"], trials=2,
+                                       workers=1, snapshot=True)
+        snap = campaign.get("snapshot", {})
+        payload["snapshot_campaign"] = snap
+        if snap:
+            print(f"campaign setup: {snap['mode']}, "
+                  f"{snap['setup_wall_s_mean'] * 1000:.1f} ms/trial vs "
+                  f"boot {snap['boot_wall_s_mean']:.3f} s "
+                  f"({snap['amortization_x']}x over {snap['trials']} "
+                  f"trials)")
+    if args.sessions:
+        from repro.workloads.sessions import (SessionTrafficConfig,
+                                              run_sessions)
+
+        print(f"session traffic: {args.sessions:,} open-loop sessions "
+              f"(seed {args.seed})...")
+        cfg = SessionTrafficConfig(sessions=args.sessions, seed=args.seed,
+                                   probe_every=max(1, args.sessions // 16),
+                                   inject_ms=400)
+        session_row = run_sessions(cfg, snapshot=args.snapshot)
+        payload["sessions"] = session_row
+        print(f"   {session_row['sessions_per_sec']:>12,.1f} sessions/sec "
+              f"({session_row['wall_s']:.2f} s wall), p50 "
+              f"{session_row['latency_p50_ms']:.3f} ms / p99 "
+              f"{session_row['latency_p99_ms']:.3f} ms")
+        print(f"   {session_row['lost']} sessions lost over "
+              f"{session_row['faults']} fault(s) "
+              f"({session_row['sessions_lost_per_fault']}/fault), "
+              f"{session_row['probes_completed']}/"
+              f"{session_row['probes_launched']} probes completed")
     write_bench_file(args.out, payload)
     print(f"bench written       : {args.out}")
     return 1 if (failed or not counters_match or not wheel_match
                  or not rpc_match or not shard_match
-                 or not replay_match or not sweep_match) else 0
+                 or not replay_match or not sweep_match
+                 or not snapshot_match) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -940,6 +1084,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print a heartbeat line (shard i/N, "
                                "sim-time, events/s) per completed "
                                "--campaign trial")
+    p_inject.add_argument("--snapshot", action="store_true",
+                          help="with --campaign: fork each trial from a "
+                               "per-worker snapshot image instead of "
+                               "re-booting (same results, boot paid "
+                               "once per worker)")
     p_inject.add_argument("--audit-out", metavar="FILE", default=None,
                           help="write the --campaign containment-audit "
                                "markdown here; any absorbed taint also "
@@ -980,8 +1129,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--config",
                          choices=["small", "medium", "large", "all"],
                          default="all")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pr9.json",
-                         help="output JSON path (default: BENCH_pr9.json)")
+    p_bench.add_argument("--out", metavar="FILE",
+                         default="BENCH_pr10.json",
+                         help="output JSON path "
+                              "(default: BENCH_pr10.json)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="runs per config; the fastest is kept "
                               "(default: 3)")
@@ -1034,12 +1185,65 @@ def build_parser() -> argparse.ArgumentParser:
                               "moved-fault trials both live and "
                               "replayed; gates counter equivalence and "
                               "records the replay speedup")
+    p_bench.add_argument("--snapshot", action="store_true",
+                         help="fork each run from a per-config snapshot "
+                              "image instead of re-booting (counters "
+                              "stay byte-identical; HIVE_SNAPSHOT=0 "
+                              "falls back to fresh boots)")
+    p_bench.add_argument("--compare-snapshot", action="store_true",
+                         help="run each config forked and freshly "
+                              "booted, verify the deterministic "
+                              "counters match byte-for-byte, and smoke "
+                              "a snapshot-forked inject campaign")
+    p_bench.add_argument("--sessions", type=int, default=0, metavar="N",
+                         help="also run the open-loop session-traffic "
+                              "frontend with N sessions (plus one "
+                              "injected fault) and record sessions/s "
+                              "and latency percentiles")
     p_bench.add_argument("--progress", action="store_true",
                          help="print a heartbeat line (shard i/N, "
                               "sim-time, events/s) per completed "
                               "--parallel shard")
     common(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_sessions = sub.add_parser(
+        "sessions", help="run the open-loop session-traffic frontend: "
+                         "heavy-tailed arrivals, per-cell FCFS server "
+                         "pools, sessions-lost-per-fault accounting")
+    p_sessions.add_argument("--sessions", type=int, default=1_000_000,
+                            help="sessions to generate (default: 1M)")
+    p_sessions.add_argument("--cells", type=int, default=4)
+    p_sessions.add_argument("--nodes", type=int, default=4)
+    p_sessions.add_argument("--interarrival",
+                            choices=["lognormal", "pareto"],
+                            default="lognormal")
+    p_sessions.add_argument("--service",
+                            choices=["lognormal", "pareto"],
+                            default="pareto")
+    p_sessions.add_argument("--mean-interarrival-ns", type=float,
+                            default=10_000.0)
+    p_sessions.add_argument("--mean-service-ns", type=float,
+                            default=200_000.0)
+    p_sessions.add_argument("--probe-every", type=int, default=0,
+                            metavar="N",
+                            help="every Nth session also runs as a real "
+                                 "kernel process (default: off)")
+    p_sessions.add_argument("--inject-ms", type=int, default=None,
+                            metavar="T",
+                            help="fail-stop a node of the victim cell "
+                                 "at sim time T ms")
+    p_sessions.add_argument("--victim-cell", type=int, default=None)
+    p_sessions.add_argument("--no-failover", action="store_true",
+                            help="arrivals at dead cells are lost "
+                                 "instead of re-routed")
+    p_sessions.add_argument("--snapshot", action="store_true",
+                            help="fork the run from a snapshot image "
+                                 "instead of booting")
+    p_sessions.add_argument("--out", metavar="FILE", default=None,
+                            help="write the session report JSON here")
+    common(p_sessions)
+    p_sessions.set_defaults(fn=cmd_sessions)
 
     p_report = sub.add_parser(
         "report", help="run (or load) a fault-injection campaign and "

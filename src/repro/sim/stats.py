@@ -180,6 +180,37 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def record_many(self, values) -> None:
+        """Record a whole array of values in one vectorized pass.
+
+        Accepts any iterable of ints; with a numpy array the bucketing
+        runs as one ``searchsorted`` + ``bincount`` (the million-session
+        workload's latency path), with identical results to a
+        :meth:`record` loop.
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        if np is not None:
+            arr = np.asarray(values)
+            if arr.size == 0:
+                return
+            # searchsorted(side="left") is bisect_left, bucket by bucket.
+            idx = np.searchsorted(self.bounds, arr, side="left")
+            for i, count in enumerate(
+                    np.bincount(idx, minlength=len(self.counts))):
+                self.counts[i] += int(count)
+            self.sum += int(arr.sum())
+            lo, hi = int(arr.min()), int(arr.max())
+            if self.min is None or lo < self.min:
+                self.min = lo
+            if self.max is None or hi > self.max:
+                self.max = hi
+            return
+        for value in values:  # pragma: no cover - numpy is baked in
+            self.record(int(value))
+
     @property
     def total(self) -> int:
         return sum(self.counts)

@@ -12,7 +12,10 @@ on:
 * :mod:`repro.workloads.raytrace` — rendering: a read-mostly scene built
   by a parent and shared copy-on-write with workers forked across cells;
 * :mod:`repro.workloads.micro` — the kernel-operation microbenchmarks of
-  Tables 5.2 and 7.3 and Sections 4.1/6.
+  Tables 5.2 and 7.3 and Sections 4.1/6;
+* :mod:`repro.workloads.sessions` — million-session open-loop traffic
+  frontend: heavy-tailed arrivals against per-cell FCFS server pools,
+  with real coherence coupling and sessions-lost-per-fault accounting.
 
 All workloads run unchanged on the IRIX baseline (one kernel) and any
 Hive configuration through the :class:`~repro.workloads.base.Platform`
@@ -23,6 +26,8 @@ from repro.workloads.base import Platform, WorkloadResult
 from repro.workloads.ocean import OceanWorkload
 from repro.workloads.pmake import PmakeWorkload
 from repro.workloads.raytrace import RaytraceWorkload
+from repro.workloads.sessions import (SessionReport, SessionTrafficConfig,
+                                      run_session_traffic, run_sessions)
 from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
 
 __all__ = [
@@ -30,7 +35,11 @@ __all__ = [
     "Platform",
     "PmakeWorkload",
     "RaytraceWorkload",
+    "SessionReport",
+    "SessionTrafficConfig",
     "SyntheticConfig",
     "SyntheticWorkload",
     "WorkloadResult",
+    "run_session_traffic",
+    "run_sessions",
 ]

@@ -50,9 +50,9 @@ class TestParser:
             ["metrics", "raytrace", "--format", "json"])
         assert args.format == "json"
 
-    def test_bench_defaults_to_pr9_out(self):
+    def test_bench_defaults_to_pr10_out(self):
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_pr9.json"
+        assert args.out == "BENCH_pr10.json"
         assert not args.progress
         assert args.shards is None  # falls back to HIVE_SHARDS
         assert args.compare_shards == 0
@@ -61,6 +61,17 @@ class TestParser:
         assert not args.compare_replay
         assert args.sweep_faults == 0
         assert not args.shard_scaling
+        assert not args.snapshot
+        assert not args.compare_snapshot
+        assert args.sessions == 0
+
+    def test_sessions_subcommand_defaults(self):
+        args = build_parser().parse_args(["sessions"])
+        assert args.sessions == 1_000_000
+        assert args.cells == 4 and args.nodes == 4
+        assert args.inject_ms is None
+        assert not args.snapshot
+        assert not args.no_failover
 
     def test_report_defaults(self):
         args = build_parser().parse_args(["report"])
